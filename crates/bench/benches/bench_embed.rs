@@ -1,0 +1,39 @@
+//! E21d: learned-embedding training cost (node2vec walks + SGNS, graph2vec)
+//! and the Frank-Wolfe relaxation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use x2v_core::NodeEmbedding;
+use x2v_embed::node2vec::{Node2Vec, Node2VecConfig};
+use x2v_graph::generators::{cycle, gnp};
+use x2v_similarity::relaxed::relaxed_distance;
+
+fn bench_node2vec(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(8);
+    let g = gnp(50, 0.1, &mut rng);
+    let mut cfg = Node2VecConfig::default();
+    cfg.sgns.dim = 16;
+    cfg.sgns.epochs = 2;
+    cfg.walks.walks_per_node = 5;
+    cfg.walks.walk_length = 20;
+    c.bench_function("node2vec_50nodes", |b| {
+        b.iter(|| black_box(Node2Vec::new(cfg.clone()).embed_nodes(&g)))
+    });
+}
+
+fn bench_frank_wolfe(c: &mut Criterion) {
+    let g = cycle(12);
+    let h = x2v_graph::generators::path(12);
+    c.bench_function("frank_wolfe_relaxed_dist_12", |b| {
+        b.iter(|| black_box(relaxed_distance(&g, &h)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_node2vec, bench_frank_wolfe
+}
+criterion_main!(benches);

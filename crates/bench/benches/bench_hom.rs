@@ -1,0 +1,67 @@
+//! E21b: homomorphism counting cost vs pattern treewidth — the
+//! Dalmau–Jonsson dichotomy made measurable: the decomposition DP scales
+//! polynomially for tw 1/2 patterns while brute force grows exponentially.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use x2v_graph::generators::{cycle, gnp, grid, path};
+use x2v_hom::{brute, decomp, trees, walks};
+
+fn bench_tree_dp_vs_brute(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let target = gnp(30, 0.2, &mut rng);
+    let pattern = path(8);
+    let mut group = c.benchmark_group("hom_P8_into_G30");
+    group.bench_function("tree_dp", |b| {
+        b.iter(|| black_box(trees::hom_count_tree(&pattern, &target)))
+    });
+    group.bench_function("walk_closed_form", |b| {
+        b.iter(|| black_box(walks::hom_path(8, &target)))
+    });
+    group.bench_function("brute_force", |b| {
+        b.iter(|| black_box(brute::hom_count(&pattern, &target)))
+    });
+    group.finish();
+}
+
+fn bench_by_treewidth(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let target = gnp(18, 0.3, &mut rng);
+    let patterns: Vec<(&str, x2v_graph::Graph)> = vec![
+        ("tw1_path6", path(6)),
+        ("tw2_cycle6", cycle(6)),
+        ("tw2_grid2x3", grid(2, 3)),
+        ("tw3_grid3x3", grid(3, 3)),
+    ];
+    let mut group = c.benchmark_group("hom_decomp_by_treewidth");
+    group.sample_size(10);
+    for (name, p) in &patterns {
+        group.bench_with_input(BenchmarkId::from_parameter(name), p, |b, p| {
+            b.iter(|| black_box(decomp::hom_count_decomp(p, &target)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hom_basis_embedding(c: &mut Criterion) {
+    use x2v_hom::vectors::HomBasis;
+    let mut rng = StdRng::seed_from_u64(6);
+    let graphs: Vec<_> = (0..10).map(|_| gnp(20, 0.25, &mut rng)).collect();
+    let basis = HomBasis::trees_and_cycles(20);
+    c.bench_function("hom_basis20_embed_10x20nodes", |b| {
+        b.iter(|| {
+            for g in &graphs {
+                black_box(basis.embed_log(g));
+            }
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_tree_dp_vs_brute, bench_by_treewidth, bench_hom_basis_embedding
+}
+criterion_main!(benches);

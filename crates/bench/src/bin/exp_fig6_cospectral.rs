@@ -1,0 +1,60 @@
+//! E7 (Figure 6, Theorem 4.3, Example 4.7): the co-spectral pair
+//! K(1,4) vs C4 ∪ K1 — equal cycle homomorphism counts (= spectra), yet
+//! path counts 20 vs 16 separate them.
+
+use x2v_bench::harness::{print_header, print_row};
+use x2v_graph::generators::{cycle, path, star};
+use x2v_graph::ops::disjoint_union;
+use x2v_hom::walks::{cycle_profile, path_profile};
+use x2v_linalg::eigen::sym_eigenvalues;
+use x2v_linalg::Matrix;
+
+fn main() {
+    println!("E7 — Figure 6 / Theorem 4.3 / Example 4.7\n");
+    let g = star(4);
+    let h = disjoint_union(&cycle(4), &path(1));
+    println!("G = K(1,4) (star), H = C4 ∪ K1\n");
+    let spec = |g: &x2v_graph::Graph| {
+        let a = Matrix::from_flat(g.order(), g.order(), g.adjacency_flat());
+        sym_eigenvalues(&a)
+            .iter()
+            .map(|x| format!("{x:+.3}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    println!("spectrum(G) = {}", spec(&g));
+    println!("spectrum(H) = {}\n", spec(&h));
+    let widths = [10, 18, 18, 10];
+    print_header(&["pattern", "hom(·, G)", "hom(·, H)", "equal?"], &widths);
+    for k in 3..=8usize {
+        let a = cycle_profile(&g, k)[k - 3];
+        let b = cycle_profile(&h, k)[k - 3];
+        print_row(
+            &[
+                format!("C{k}"),
+                a.to_string(),
+                b.to_string(),
+                (a == b).to_string(),
+            ],
+            &widths,
+        );
+    }
+    for k in 2..=5usize {
+        let a = path_profile(&g, k)[k - 1];
+        let b = path_profile(&h, k)[k - 1];
+        print_row(
+            &[
+                format!("P{k}"),
+                a.to_string(),
+                b.to_string(),
+                (a == b).to_string(),
+            ],
+            &widths,
+        );
+    }
+    let p3g = path_profile(&g, 3)[2];
+    let p3h = path_profile(&h, 3)[2];
+    println!("\npaper's Example 4.7 numbers: hom(P3, G) = {p3g} (paper: 20), hom(P3, H) = {p3h} (paper: 16)");
+    assert_eq!(p3g, 20);
+    assert_eq!(p3h, 16);
+}

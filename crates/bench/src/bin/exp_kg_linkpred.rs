@@ -1,0 +1,102 @@
+//! E16 (Section 2.3): knowledge-graph link prediction on the synthetic
+//! countries world — TransE vs RESCAL vs a random baseline; hits@k and MRR
+//! over held-out facts, plus the translation-geometry check.
+
+use x2v_bench::harness::{pct, print_header, print_row};
+use x2v_datasets::kg::{generate_world, relations};
+use x2v_datasets::metrics::{hits_at_k, mean_reciprocal_rank};
+use x2v_embed::rescal::{Rescal, RescalConfig};
+use x2v_embed::transe::{TransE, TransEConfig};
+use x2v_linalg::vector::euclidean;
+
+fn main() {
+    println!("E16 — link prediction on the synthetic countries world\n");
+    let world = generate_world(20, 4, 2, 0.25, 1234);
+    println!(
+        "world: {} entities, {} relations, {} train / {} test facts\n",
+        world.kg.n_entities(),
+        world.kg.n_relations(),
+        world.train.triples().len(),
+        world.test.len()
+    );
+    let transe = TransE::train(
+        &world.train,
+        &TransEConfig {
+            epochs: 400,
+            ..Default::default()
+        },
+    );
+    let rescal = Rescal::train(
+        &world.train,
+        &RescalConfig {
+            epochs: 400,
+            ..Default::default()
+        },
+    );
+    let n = world.kg.n_entities();
+
+    let transe_ranks: Vec<usize> = world
+        .test
+        .iter()
+        .map(|&(h, r, t)| transe.tail_rank(h, r, t))
+        .collect();
+    let rescal_ranks: Vec<usize> = world
+        .test
+        .iter()
+        .map(|&(h, r, t)| rescal.tail_rank(h, r, t))
+        .collect();
+    // Random baseline: expected rank (n+1)/2 for each query.
+    let random_ranks: Vec<usize> = world.test.iter().map(|_| n.div_ceil(2)).collect();
+
+    let widths = [10, 12, 12, 12, 12];
+    print_header(&["model", "hits@1", "hits@3", "hits@10", "MRR"], &widths);
+    for (name, ranks) in [
+        ("TransE", &transe_ranks),
+        ("RESCAL", &rescal_ranks),
+        ("random", &random_ranks),
+    ] {
+        print_row(
+            &[
+                name.to_string(),
+                pct(hits_at_k(ranks, 1)),
+                pct(hits_at_k(ranks, 3)),
+                pct(hits_at_k(ranks, 10)),
+                format!("{:.3}", mean_reciprocal_rank(ranks)),
+            ],
+            &widths,
+        );
+    }
+
+    // Translation geometry: capital offsets cluster (Paris − France ≈
+    // Santiago − Chile in the paper's example).
+    println!("\ntranslation-geometry check (TransE):");
+    let mut offsets: Vec<Vec<f64>> = Vec::new();
+    for c in 0..world.countries {
+        let capital = world.city_base + c;
+        if world.train.contains(capital, relations::CAPITAL_OF, c) {
+            let diff: Vec<f64> = transe.entities[capital]
+                .iter()
+                .zip(&transe.entities[c])
+                .map(|(a, b)| a - b)
+                .collect();
+            offsets.push(diff);
+        }
+    }
+    let mean: Vec<f64> = (0..offsets[0].len())
+        .map(|d| offsets.iter().map(|o| o[d]).sum::<f64>() / offsets.len() as f64)
+        .collect();
+    let spread: f64 =
+        offsets.iter().map(|o| euclidean(o, &mean)).sum::<f64>() / offsets.len() as f64;
+    let scale: f64 = offsets
+        .iter()
+        .map(|o| euclidean(o, &vec![0.0; o.len()]))
+        .sum::<f64>()
+        / offsets.len() as f64;
+    println!(
+        "  capital_of offsets: mean spread {spread:.3} vs mean norm {scale:.3} (ratio {:.2} — below 1 means the offsets cluster around one shared translation)",
+        spread / scale
+    );
+    let mrr_t = mean_reciprocal_rank(&transe_ranks);
+    let mrr_r = mean_reciprocal_rank(&random_ranks);
+    assert!(mrr_t > 2.0 * mrr_r, "TransE must clearly beat random");
+}

@@ -1,0 +1,104 @@
+//! E17b (Section 2.1 / Figure 2): node-embedding comparison on community
+//! detection — spectral factorisations, DeepWalk, node2vec and the
+//! rooted-hom structural embedding, evaluated by 1-NN label recovery on
+//! SBM graphs and the karate club.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use x2v_bench::harness::{pct, print_header, print_row};
+use x2v_core::distance::{accuracy, knn1_predict};
+use x2v_core::hom_embed::RootedHomNodeEmbedding;
+use x2v_core::NodeEmbedding;
+use x2v_embed::deepwalk::DeepWalk;
+use x2v_embed::line::{Line, LineConfig, Proximity};
+use x2v_embed::node2vec::{Node2Vec, Node2VecConfig};
+use x2v_embed::spectral::{AdjacencySvd, ClassicalMds, ExpDistanceSvd, LaplacianEigenmap};
+use x2v_graph::generators::{karate_club, sbm};
+
+fn eval(embedding: &dyn NodeEmbedding, g: &x2v_graph::Graph) -> f64 {
+    let vecs = embedding.embed_nodes(g);
+    // Leave-one-out 1-NN on the true labels.
+    let labels: Vec<usize> = g.labels().iter().map(|&l| l as usize).collect();
+    let n = g.order();
+    let mut correct = 0;
+    for v in 0..n {
+        let train: Vec<Vec<f64>> = (0..n)
+            .filter(|&w| w != v)
+            .map(|w| vecs[w].clone())
+            .collect();
+        let train_labels: Vec<usize> = (0..n).filter(|&w| w != v).map(|w| labels[w]).collect();
+        let pred = knn1_predict(&train, &train_labels, &[vecs[v].clone()]);
+        if pred[0] == labels[v] {
+            correct += 1;
+        }
+    }
+    let _ = accuracy(&[0], &[0]);
+    correct as f64 / n as f64
+}
+
+struct GaeEmbedding;
+
+impl NodeEmbedding for GaeEmbedding {
+    fn embed_nodes(&self, g: &x2v_graph::Graph) -> Vec<Vec<f64>> {
+        x2v_gnn::autoencoder::GraphAutoencoder::train(
+            g,
+            &x2v_gnn::autoencoder::GaeConfig::default(),
+        )
+        .embeddings()
+    }
+    fn dimension(&self) -> usize {
+        x2v_gnn::autoencoder::GaeConfig::default().dim
+    }
+}
+
+fn main() {
+    println!("E17b — node embeddings for community labels (leave-one-out 1-NN)\n");
+    let mut rng = StdRng::seed_from_u64(31);
+    let sbm_graph = sbm(&[12, 12], 0.6, 0.08, &mut rng);
+    let karate = karate_club();
+    let mut n2v_cfg = Node2VecConfig::default();
+    n2v_cfg.sgns.dim = 16;
+    n2v_cfg.sgns.epochs = 4;
+    let methods: Vec<(&str, Box<dyn NodeEmbedding>)> = vec![
+        ("adj-SVD (2a)", Box::new(AdjacencySvd { dim: 8 })),
+        (
+            "exp-dist SVD (2b)",
+            Box::new(ExpDistanceSvd { dim: 8, c: 2.0 }),
+        ),
+        ("Laplacian maps", Box::new(LaplacianEigenmap { dim: 4 })),
+        ("classical MDS", Box::new(ClassicalMds { dim: 4 })),
+        ("DeepWalk", Box::new(DeepWalk::with_config(n2v_cfg.clone()))),
+        ("node2vec (2c)", Box::new(Node2Vec::new(n2v_cfg.clone()))),
+        (
+            "LINE (1st)",
+            Box::new(Line::new(LineConfig {
+                proximity: Proximity::FirstOrder,
+                ..Default::default()
+            })),
+        ),
+        ("LINE (2nd)", Box::new(Line::new(LineConfig::default()))),
+        ("GAE", Box::new(GaeEmbedding)),
+        (
+            "rooted-hom",
+            Box::new(RootedHomNodeEmbedding::rooted_trees(5)),
+        ),
+    ];
+    let widths = [20, 14, 14];
+    print_header(&["embedding", "SBM(12+12)", "karate club"], &widths);
+    for (name, method) in &methods {
+        print_row(
+            &[
+                name.to_string(),
+                pct(eval(method.as_ref(), &sbm_graph)),
+                pct(eval(method.as_ref(), &karate)),
+            ],
+            &widths,
+        );
+    }
+    println!("\nnote: rooted-hom is purely structural (Section 4.4): it sees WL");
+    println!("colour, not distances. On these instances the structural and");
+    println!("community signals coincide (hubs and boundary nodes differ per");
+    println!("faction), so it competes with the proximity-based methods — the");
+    println!("paper's structural-vs-metric distinction is a difference in what is");
+    println!("captured, not automatically a difference in downstream accuracy.");
+}

@@ -1,0 +1,42 @@
+//! E6 (Theorem 4.2, Lovász): the exact decomposition HOM = P·D·M over the
+//! exhaustive universe of graphs of order ≤ 5, with triangularity and
+//! invertibility checked in exact rational arithmetic.
+
+use x2v_graph::enumerate::all_graphs_up_to;
+use x2v_hom::lovasz::LovaszSystem;
+
+fn main() {
+    println!("E6 — Lovász: HOM = P · D · M over all graphs of order <= 4 and <= 5\n");
+    for n in [4usize, 5] {
+        let universe = all_graphs_up_to(n);
+        println!(
+            "universe: all graphs of order <= {n}  ({} graphs)",
+            universe.len()
+        );
+        let sys = LovaszSystem::compute(&universe);
+        println!(
+            "  P = epi lower triangular, positive diagonal: {}",
+            sys.epi_lower_triangular()
+        );
+        println!(
+            "  M = emb upper triangular, positive diagonal: {}",
+            sys.emb_upper_triangular()
+        );
+        println!(
+            "  HOM = P · D · M exactly over Q:              {}",
+            sys.decomposition_holds()
+        );
+        if n <= 4 {
+            let det = sys.hom_determinant();
+            println!("  det(HOM) = {det}  (non-zero => hom-vectors determine isomorphism)");
+        } else {
+            println!("  det(HOM): skipped at n = 5 (entries huge); invertibility follows");
+            println!("            from the triangular factorisation above.");
+        }
+        assert!(sys.epi_lower_triangular());
+        assert!(sys.emb_upper_triangular());
+        assert!(sys.decomposition_holds());
+        println!();
+    }
+    println!("paper: Theorem 4.2 — Hom_G(G) = Hom_G(H) iff G ≅ H.");
+}

@@ -1,0 +1,10 @@
+//! # x2v-bench — experiment harness
+//!
+//! Shared machinery for the `exp_*` binaries that regenerate the paper's
+//! figures, worked examples and theorem checks (see DESIGN.md §3 for the
+//! per-experiment index and EXPERIMENTS.md for paper-vs-measured records).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod harness;

@@ -1,0 +1,82 @@
+//! Planted-topic corpora: the word2vec substitute for natural-language
+//! text. Each sentence draws its tokens from one topic's sub-vocabulary
+//! (plus noise), giving a known ground-truth similarity structure.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated corpus with known topic structure.
+pub struct TopicCorpus {
+    /// Sentences of token ids.
+    pub sentences: Vec<Vec<usize>>,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Topic of each token (`topic[t]` for token `t`).
+    pub token_topic: Vec<usize>,
+}
+
+/// Generates `sentences` sentences of `length` tokens over `topics` topics
+/// with `words_per_topic` tokens each; each token is drawn from the
+/// sentence's topic with probability `1 − noise`, uniformly otherwise.
+pub fn topic_corpus(
+    topics: usize,
+    words_per_topic: usize,
+    sentences: usize,
+    length: usize,
+    noise: f64,
+    seed: u64,
+) -> TopicCorpus {
+    let vocab = topics * words_per_topic;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(sentences);
+    for s in 0..sentences {
+        let topic = s % topics;
+        let sent: Vec<usize> = (0..length)
+            .map(|_| {
+                if rng.random::<f64>() < noise {
+                    rng.random_range(0..vocab)
+                } else {
+                    topic * words_per_topic + rng.random_range(0..words_per_topic)
+                }
+            })
+            .collect();
+        out.push(sent);
+    }
+    let token_topic = (0..vocab).map(|t| t / words_per_topic).collect();
+    TopicCorpus {
+        sentences: out,
+        vocab,
+        token_topic,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_shape() {
+        let c = topic_corpus(3, 5, 30, 10, 0.1, 1);
+        assert_eq!(c.vocab, 15);
+        assert_eq!(c.sentences.len(), 30);
+        assert!(c.sentences.iter().all(|s| s.len() == 10));
+        assert!(c.sentences.iter().flatten().all(|&t| t < 15));
+        assert_eq!(c.token_topic[7], 1);
+    }
+
+    #[test]
+    fn zero_noise_sentences_are_pure() {
+        let c = topic_corpus(2, 4, 10, 8, 0.0, 2);
+        for (s, sent) in c.sentences.iter().enumerate() {
+            let topic = s % 2;
+            assert!(sent.iter().all(|&t| c.token_topic[t] == topic));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = topic_corpus(2, 4, 10, 8, 0.3, 3);
+        let b = topic_corpus(2, 4, 10, 8, 0.3, 3);
+        assert_eq!(a.sentences, b.sentences);
+    }
+}

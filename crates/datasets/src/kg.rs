@@ -1,0 +1,163 @@
+//! A synthetic relational "countries" world for knowledge-graph embedding
+//! experiments (the paper's Paris/France running example, generated at
+//! scale with known ground truth).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use x2v_graph::relational::KnowledgeGraph;
+
+/// Relation ids of the generated world.
+pub mod relations {
+    /// `capital_of(city, country)`.
+    pub const CAPITAL_OF: usize = 0;
+    /// `located_in(country, continent)`.
+    pub const LOCATED_IN: usize = 1;
+    /// `neighbour_of(country, country)` (symmetric pairs stored both ways).
+    pub const NEIGHBOUR_OF: usize = 2;
+    /// `city_in(city, country)` for non-capital cities.
+    pub const CITY_IN: usize = 3;
+    /// Number of relations.
+    pub const COUNT: usize = 4;
+}
+
+/// A generated world plus its entity layout and a train/test triple split.
+pub struct KgWorld {
+    /// All facts.
+    pub kg: KnowledgeGraph,
+    /// Training facts.
+    pub train: KnowledgeGraph,
+    /// Held-out facts (each has its head and tail present in training).
+    pub test: Vec<(usize, usize, usize)>,
+    /// Number of countries (entities `0..countries`).
+    pub countries: usize,
+    /// Number of continents (entities `countries..countries+continents`).
+    pub continents: usize,
+    /// Cities start here: capital of country `c` is `city_base + c`.
+    pub city_base: usize,
+}
+
+/// Generates a world with `countries` countries in `continents` continents,
+/// one capital each, `extra_cities` further cities per country, and a ring
+/// of neighbour relations within each continent. `holdout` of the capital/
+/// located facts go to the test set.
+pub fn generate_world(
+    countries: usize,
+    continents: usize,
+    extra_cities: usize,
+    holdout: f64,
+    seed: u64,
+) -> KgWorld {
+    assert!(continents >= 1 && countries >= continents, "invalid sizes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let city_base = countries + continents;
+    let n_entities = city_base + countries * (1 + extra_cities);
+    let mut triples = Vec::new();
+    // Continent assignment: round-robin.
+    for c in 0..countries {
+        let continent = countries + c % continents;
+        triples.push((c, relations::LOCATED_IN, continent));
+        // Capital.
+        let capital = city_base + c;
+        triples.push((capital, relations::CAPITAL_OF, c));
+        triples.push((capital, relations::CITY_IN, c));
+        // Extra cities.
+        for e in 0..extra_cities {
+            let city = city_base + countries + c * extra_cities + e;
+            triples.push((city, relations::CITY_IN, c));
+        }
+    }
+    // Neighbour ring within each continent.
+    for continent in 0..continents {
+        let members: Vec<usize> = (0..countries)
+            .filter(|c| c % continents == continent)
+            .collect();
+        for w in members.windows(2) {
+            triples.push((w[0], relations::NEIGHBOUR_OF, w[1]));
+            triples.push((w[1], relations::NEIGHBOUR_OF, w[0]));
+        }
+    }
+    let kg = KnowledgeGraph::new(n_entities, relations::COUNT, &triples).expect("valid world");
+    // Split: hold out some CAPITAL_OF and LOCATED_IN facts.
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for &t in kg.triples() {
+        let holdable = t.1 == relations::CAPITAL_OF || t.1 == relations::LOCATED_IN;
+        if holdable && rng.random::<f64>() < holdout {
+            test.push(t);
+        } else {
+            train.push(t);
+        }
+    }
+    // Every entity must appear in training; pull back test triples with
+    // otherwise-unseen entities.
+    let mut seen = vec![false; n_entities];
+    for &(h, _, t) in &train {
+        seen[h] = true;
+        seen[t] = true;
+    }
+    let mut kept_test = Vec::new();
+    for t in test {
+        if seen[t.0] && seen[t.2] {
+            kept_test.push(t);
+        } else {
+            seen[t.0] = true;
+            seen[t.2] = true;
+            train.push(t);
+        }
+    }
+    let train_kg = KnowledgeGraph::new(n_entities, relations::COUNT, &train).expect("valid");
+    KgWorld {
+        kg,
+        train: train_kg,
+        test: kept_test,
+        countries,
+        continents,
+        city_base,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_shapes() {
+        let w = generate_world(12, 3, 2, 0.2, 1);
+        assert_eq!(w.kg.n_relations(), relations::COUNT);
+        assert_eq!(w.kg.n_entities(), 12 + 3 + 12 * 3);
+        // Every country has a capital fact in the full KG.
+        for c in 0..12 {
+            assert!(w.kg.contains(w.city_base + c, relations::CAPITAL_OF, c));
+        }
+    }
+
+    #[test]
+    fn split_partitions_facts() {
+        let w = generate_world(12, 3, 1, 0.3, 2);
+        let total = w.kg.triples().len();
+        assert_eq!(w.train.triples().len() + w.test.len(), total);
+        // Test facts come only from the holdable relations.
+        for &(_, r, _) in &w.test {
+            assert!(r == relations::CAPITAL_OF || r == relations::LOCATED_IN);
+        }
+    }
+
+    #[test]
+    fn training_covers_all_entities() {
+        let w = generate_world(10, 2, 1, 0.5, 3);
+        let mut seen = vec![false; w.kg.n_entities()];
+        for &(h, _, t) in w.train.triples() {
+            seen[h] = true;
+            seen[t] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "every entity appears in training");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate_world(8, 2, 1, 0.2, 7);
+        let b = generate_world(8, 2, 1, 0.2, 7);
+        assert_eq!(a.train.triples(), b.train.triples());
+        assert_eq!(a.test, b.test);
+    }
+}

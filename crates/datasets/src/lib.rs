@@ -1,0 +1,25 @@
+//! # x2v-datasets — synthetic benchmarks, fixed graphs, splits, metrics
+//!
+//! The paper's empirical claims are phrased against standard
+//! graph-classification benchmarks and knowledge graphs we do not ship.
+//! This crate provides the synthetic equivalents (documented in DESIGN.md's
+//! substitution table): generators with *known ground truth* that exercise
+//! exactly the structural signals — subtree patterns, cycles, degree
+//! profiles, communities, relational regularities — that the paper's
+//! kernels and embeddings are supposed to capture.
+//!
+//! * [`synthetic`] — graph-classification suites (easy → WL-hard);
+//! * [`kg`] — a relational "countries" world generator for TransE/RESCAL
+//!   link prediction;
+//! * [`corpus`] — planted-topic corpora for word2vec;
+//! * [`splits`] — seeded train/test and stratified k-fold splits;
+//! * [`metrics`] — accuracy, macro-F1, hits@k, mean reciprocal rank.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod corpus;
+pub mod kg;
+pub mod metrics;
+pub mod splits;
+pub mod synthetic;

@@ -1,0 +1,101 @@
+//! Evaluation metrics: classification accuracy, macro-F1, and the ranking
+//! metrics (hits@k, MRR) standard in knowledge-graph link prediction.
+
+/// Classification accuracy.
+pub fn accuracy(predicted: &[usize], actual: &[usize]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "length mismatch");
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    predicted.iter().zip(actual).filter(|(p, a)| p == a).count() as f64 / predicted.len() as f64
+}
+
+/// Macro-averaged F1 score over the classes present in `actual`.
+pub fn macro_f1(predicted: &[usize], actual: &[usize]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "length mismatch");
+    let classes = actual.iter().copied().max().map_or(0, |m| m + 1);
+    let mut f1_sum = 0.0;
+    let mut present = 0;
+    for c in 0..classes {
+        let tp = predicted
+            .iter()
+            .zip(actual)
+            .filter(|&(&p, &a)| p == c && a == c)
+            .count() as f64;
+        let fp = predicted
+            .iter()
+            .zip(actual)
+            .filter(|&(&p, &a)| p == c && a != c)
+            .count() as f64;
+        let fn_ = predicted
+            .iter()
+            .zip(actual)
+            .filter(|&(&p, &a)| p != c && a == c)
+            .count() as f64;
+        if tp + fn_ == 0.0 {
+            continue; // class absent from ground truth
+        }
+        present += 1;
+        let precision = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
+        let recall = tp / (tp + fn_);
+        if precision + recall > 0.0 {
+            f1_sum += 2.0 * precision * recall / (precision + recall);
+        }
+    }
+    if present == 0 {
+        0.0
+    } else {
+        f1_sum / present as f64
+    }
+}
+
+/// Hits@k from a list of (1-based) ranks.
+pub fn hits_at_k(ranks: &[usize], k: usize) -> f64 {
+    if ranks.is_empty() {
+        return 0.0;
+    }
+    ranks.iter().filter(|&&r| r <= k).count() as f64 / ranks.len() as f64
+}
+
+/// Mean reciprocal rank from (1-based) ranks.
+pub fn mean_reciprocal_rank(ranks: &[usize]) -> f64 {
+    if ranks.is_empty() {
+        return 0.0;
+    }
+    ranks.iter().map(|&r| 1.0 / r as f64).sum::<f64>() / ranks.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[0, 1, 1], &[0, 1, 0]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn f1_perfect_and_degenerate() {
+        assert_eq!(macro_f1(&[0, 1, 0, 1], &[0, 1, 0, 1]), 1.0);
+        // All wrong.
+        assert_eq!(macro_f1(&[1, 0], &[0, 1]), 0.0);
+    }
+
+    #[test]
+    fn f1_imbalanced() {
+        // Class 0: tp=2 fp=1 fn=0 → p=2/3, r=1, f1=0.8.
+        // Class 1: tp=0 fp=0 fn=1 → f1=0.
+        let f1 = macro_f1(&[0, 0, 0], &[0, 0, 1]);
+        assert!((f1 - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranking_metrics() {
+        let ranks = [1, 2, 10];
+        assert!((hits_at_k(&ranks, 1) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((hits_at_k(&ranks, 3) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((mean_reciprocal_rank(&ranks) - (1.0 + 0.5 + 0.1) / 3.0).abs() < 1e-12);
+        assert_eq!(hits_at_k(&[], 5), 0.0);
+    }
+}

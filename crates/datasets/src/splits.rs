@@ -1,0 +1,101 @@
+//! Seeded train/test and stratified k-fold splits.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fisher–Yates shuffle with an explicit RNG.
+fn shuffle<T>(v: &mut [T], rng: &mut StdRng) {
+    for i in (1..v.len()).rev() {
+        let j = rng.random_range(0..=i);
+        v.swap(i, j);
+    }
+}
+
+/// Stratified k-fold assignment: returns `fold[i] ∈ 0..k` per sample, with
+/// each class spread evenly across folds.
+pub fn stratified_folds(labels: &[usize], k: usize, seed: u64) -> Vec<usize> {
+    assert!(k >= 2, "need at least two folds");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let classes = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let mut fold = vec![0usize; labels.len()];
+    for c in 0..classes {
+        let mut members: Vec<usize> = (0..labels.len()).filter(|&i| labels[i] == c).collect();
+        shuffle(&mut members, &mut rng);
+        for (pos, &i) in members.iter().enumerate() {
+            fold[i] = pos % k;
+        }
+    }
+    fold
+}
+
+/// Train/test index split (stratified), `test_fraction ∈ (0, 1)`.
+pub fn train_test_split(
+    labels: &[usize],
+    test_fraction: f64,
+    seed: u64,
+) -> (Vec<usize>, Vec<usize>) {
+    assert!((0.0..1.0).contains(&test_fraction) && test_fraction > 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let classes = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for c in 0..classes {
+        let mut members: Vec<usize> = (0..labels.len()).filter(|&i| labels[i] == c).collect();
+        shuffle(&mut members, &mut rng);
+        let n_test = ((members.len() as f64) * test_fraction).round() as usize;
+        let n_test = n_test.clamp(1.min(members.len()), members.len().saturating_sub(1).max(1));
+        for (pos, &i) in members.iter().enumerate() {
+            if pos < n_test {
+                test.push(i);
+            } else {
+                train.push(i);
+            }
+        }
+    }
+    train.sort_unstable();
+    test.sort_unstable();
+    (train, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_are_balanced_per_class() {
+        let labels: Vec<usize> = (0..30).map(|i| i % 2).collect();
+        let fold = stratified_folds(&labels, 5, 1);
+        for f in 0..5 {
+            for c in 0..2 {
+                let count = (0..30).filter(|&i| fold[i] == f && labels[i] == c).count();
+                assert_eq!(count, 3, "fold {f}, class {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_partitions_and_stratifies() {
+        let labels: Vec<usize> = (0..40).map(|i| i % 2).collect();
+        let (train, test) = train_test_split(&labels, 0.25, 2);
+        assert_eq!(train.len() + test.len(), 40);
+        let test_class0 = test.iter().filter(|&&i| labels[i] == 0).count();
+        assert_eq!(test_class0, 5);
+        // Disjoint.
+        for i in &test {
+            assert!(!train.contains(i));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let labels: Vec<usize> = (0..20).map(|i| i % 4).collect();
+        assert_eq!(
+            stratified_folds(&labels, 4, 9),
+            stratified_folds(&labels, 4, 9)
+        );
+        assert_eq!(
+            train_test_split(&labels, 0.3, 9),
+            train_test_split(&labels, 0.3, 9)
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Property-based tests of splits and metrics.
+
+use proptest::prelude::*;
+use x2v_datasets::metrics::{accuracy, hits_at_k, macro_f1, mean_reciprocal_rank};
+use x2v_datasets::splits::{stratified_folds, train_test_split};
+
+proptest! {
+    #[test]
+    fn folds_partition_with_balanced_classes(
+        labels in proptest::collection::vec(0usize..3, 12..60),
+        k in 2usize..5,
+        seed in any::<u64>(),
+    ) {
+        let fold = stratified_folds(&labels, k, seed);
+        prop_assert_eq!(fold.len(), labels.len());
+        prop_assert!(fold.iter().all(|&f| f < k));
+        // Per class, fold sizes differ by at most 1.
+        for c in 0..3 {
+            let per_fold: Vec<usize> = (0..k)
+                .map(|f| (0..labels.len()).filter(|&i| fold[i] == f && labels[i] == c).count())
+                .collect();
+            let max = per_fold.iter().max().copied().unwrap_or(0);
+            let min = per_fold.iter().min().copied().unwrap_or(0);
+            prop_assert!(max - min <= 1, "class {} folds {:?}", c, per_fold);
+        }
+    }
+
+    #[test]
+    fn split_is_a_partition(
+        labels in proptest::collection::vec(0usize..2, 10..40),
+        seed in any::<u64>(),
+    ) {
+        // Need both classes present for the split to stratify meaningfully.
+        prop_assume!(labels.contains(&0) && labels.contains(&1));
+        let (train, test) = train_test_split(&labels, 0.3, seed);
+        let mut all: Vec<usize> = train.iter().chain(test.iter()).copied().collect();
+        all.sort_unstable();
+        let expected: Vec<usize> = (0..labels.len()).collect();
+        prop_assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn accuracy_bounds_and_perfection(preds in proptest::collection::vec(0usize..4, 1..30)) {
+        prop_assert_eq!(accuracy(&preds, &preds), 1.0);
+        prop_assert_eq!(macro_f1(&preds, &preds), 1.0);
+        let shifted: Vec<usize> = preds.iter().map(|&p| p + 10).collect();
+        prop_assert_eq!(accuracy(&preds, &shifted), 0.0);
+    }
+
+    #[test]
+    fn ranking_metrics_monotone(ranks in proptest::collection::vec(1usize..50, 1..20), k in 1usize..20) {
+        let h_k = hits_at_k(&ranks, k);
+        let h_k1 = hits_at_k(&ranks, k + 1);
+        prop_assert!(h_k1 >= h_k);
+        prop_assert!((0.0..=1.0).contains(&h_k));
+        let mrr = mean_reciprocal_rank(&ranks);
+        prop_assert!(mrr > 0.0 && mrr <= 1.0);
+    }
+}

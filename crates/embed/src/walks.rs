@@ -1,0 +1,170 @@
+//! Random-walk corpora over graphs (Section 2.1).
+//!
+//! DeepWalk samples uniform random walks; node2vec biases the second-order
+//! transition by the return parameter `p` and in-out parameter `q`:
+//! stepping from `t` to `v`, the unnormalised probability of moving on to
+//! `x` is `1/p` if `x = t`, `1` if `dist(t, x) = 1`, and `1/q` otherwise.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use x2v_graph::Graph;
+
+/// Walk-corpus hyperparameters.
+#[derive(Clone, Debug)]
+pub struct WalkConfig {
+    /// Walks started per node.
+    pub walks_per_node: usize,
+    /// Nodes per walk.
+    pub walk_length: usize,
+    /// node2vec return parameter `p` (1.0 = unbiased).
+    pub p: f64,
+    /// node2vec in-out parameter `q` (1.0 = unbiased).
+    pub q: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WalkConfig {
+    fn default() -> Self {
+        WalkConfig {
+            walks_per_node: 10,
+            walk_length: 40,
+            p: 1.0,
+            q: 1.0,
+            seed: 7,
+        }
+    }
+}
+
+/// Generates the walk corpus: one sentence of node ids per walk. Nodes with
+/// no neighbours yield length-1 walks.
+pub fn generate_walks(g: &Graph, config: &WalkConfig) -> Vec<Vec<usize>> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = g.order();
+    let mut corpus = Vec::with_capacity(n * config.walks_per_node);
+    let uniform = (config.p - 1.0).abs() < 1e-12 && (config.q - 1.0).abs() < 1e-12;
+    for _ in 0..config.walks_per_node {
+        for start in 0..n {
+            let mut walk = Vec::with_capacity(config.walk_length);
+            walk.push(start);
+            while walk.len() < config.walk_length {
+                let cur = *walk.last().expect("non-empty walk");
+                let nbrs = g.neighbours(cur);
+                if nbrs.is_empty() {
+                    break;
+                }
+                let next = if uniform || walk.len() < 2 {
+                    nbrs[rng.random_range(0..nbrs.len())]
+                } else {
+                    biased_step(g, walk[walk.len() - 2], cur, config, &mut rng)
+                };
+                walk.push(next);
+            }
+            corpus.push(walk);
+        }
+    }
+    corpus
+}
+
+/// One biased second-order step from `cur`, having arrived from `prev`.
+fn biased_step(g: &Graph, prev: usize, cur: usize, config: &WalkConfig, rng: &mut StdRng) -> usize {
+    let nbrs = g.neighbours(cur);
+    // Unnormalised weights; rejection-free: sample by cumulative sum.
+    let mut total = 0.0f64;
+    let mut weights = Vec::with_capacity(nbrs.len());
+    for &x in nbrs {
+        let w = if x == prev {
+            1.0 / config.p
+        } else if g.has_edge(prev, x) {
+            1.0
+        } else {
+            1.0 / config.q
+        };
+        weights.push(w);
+        total += w;
+    }
+    let mut target = rng.random::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        target -= w;
+        if target <= 0.0 {
+            return nbrs[i];
+        }
+    }
+    nbrs[nbrs.len() - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use x2v_graph::generators::{cycle, path, star};
+    use x2v_graph::ops::disjoint_union;
+
+    #[test]
+    fn corpus_shape() {
+        let g = cycle(6);
+        let cfg = WalkConfig {
+            walks_per_node: 3,
+            walk_length: 10,
+            ..Default::default()
+        };
+        let corpus = generate_walks(&g, &cfg);
+        assert_eq!(corpus.len(), 18);
+        assert!(corpus.iter().all(|w| w.len() == 10));
+        // Consecutive walk nodes are adjacent.
+        for walk in &corpus {
+            for pair in walk.windows(2) {
+                assert!(g.has_edge(pair[0], pair[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_nodes_stop_early() {
+        let g = disjoint_union(&path(2), &path(1));
+        let cfg = WalkConfig {
+            walks_per_node: 1,
+            walk_length: 5,
+            ..Default::default()
+        };
+        let corpus = generate_walks(&g, &cfg);
+        let iso_walk = corpus.iter().find(|w| w[0] == 2).expect("walk from node 2");
+        assert_eq!(iso_walk.len(), 1);
+    }
+
+    #[test]
+    fn low_p_returns_often() {
+        // p → 0 forces immediate backtracking: on a star, walks from a leaf
+        // alternate leaf-centre-leaf…, revisiting the start leaf often.
+        let g = star(6);
+        let backtrack = WalkConfig {
+            walks_per_node: 5,
+            walk_length: 20,
+            p: 0.01,
+            q: 1.0,
+            seed: 11,
+        };
+        let explore = WalkConfig {
+            p: 100.0,
+            ..backtrack.clone()
+        };
+        let count_revisits = |cfg: &WalkConfig| {
+            let corpus = generate_walks(&g, cfg);
+            corpus
+                .iter()
+                .filter(|w| w[0] != 0)
+                .map(|w| w.iter().filter(|&&v| v == w[0]).count())
+                .sum::<usize>()
+        };
+        assert!(
+            count_revisits(&backtrack) > 2 * count_revisits(&explore),
+            "low p must revisit the origin far more often"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = cycle(5);
+        let cfg = WalkConfig::default();
+        assert_eq!(generate_walks(&g, &cfg), generate_walks(&g, &cfg));
+    }
+}

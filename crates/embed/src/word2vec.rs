@@ -1,0 +1,305 @@
+//! Skip-gram with negative sampling — word2vec (Mikolov et al., [74]).
+//!
+//! Sentences are sequences of token ids in `0..vocab`. For each
+//! (centre, context) pair within the window the model maximises
+//! `log σ(w·c) + Σ_neg log σ(−w·c_neg)` by SGD; negatives are drawn from
+//! the unigram distribution raised to `3/4` via an alias table.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use x2v_linalg::sampling::AliasTable;
+use x2v_linalg::vector::sigmoid;
+
+/// SGNS hyperparameters.
+#[derive(Clone, Debug)]
+pub struct SgnsConfig {
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Window radius (context = up to `window` tokens each side).
+    pub window: usize,
+    /// Negative samples per positive pair.
+    pub negative: usize,
+    /// Training epochs over the corpus.
+    pub epochs: usize,
+    /// Initial learning rate (linearly decayed to 1e-4 of itself).
+    pub learning_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SgnsConfig {
+    fn default() -> Self {
+        SgnsConfig {
+            dim: 32,
+            window: 4,
+            negative: 5,
+            epochs: 5,
+            learning_rate: 0.025,
+            seed: 0x2fec,
+        }
+    }
+}
+
+/// Trained SGNS model: input ("word") and output ("context") vectors.
+pub struct Word2Vec {
+    /// Input vectors, `vocab × dim` row-major.
+    input: Vec<f64>,
+    /// Output vectors, `vocab × dim` row-major.
+    output: Vec<f64>,
+    dim: usize,
+    vocab: usize,
+}
+
+impl Word2Vec {
+    /// Trains on a corpus of token-id sentences over `vocab` tokens.
+    ///
+    /// # Panics
+    /// If any token id is `≥ vocab` or the corpus is empty.
+    pub fn train(corpus: &[Vec<usize>], vocab: usize, config: &SgnsConfig) -> Self {
+        assert!(!corpus.is_empty(), "empty corpus");
+        let mut counts = vec![0f64; vocab];
+        let mut total_tokens = 0usize;
+        for sentence in corpus {
+            for &t in sentence {
+                assert!(t < vocab, "token {t} out of vocabulary {vocab}");
+                counts[t] += 1.0;
+                total_tokens += 1;
+            }
+        }
+        let weights: Vec<f64> = counts.iter().map(|&c| c.powf(0.75)).collect();
+        let negatives = AliasTable::new(&weights);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let dim = config.dim;
+        let scale = 0.5 / dim as f64;
+        let mut input: Vec<f64> = (0..vocab * dim)
+            .map(|_| (rng.random::<f64>() - 0.5) * 2.0 * scale)
+            .collect();
+        let mut output = vec![0.0f64; vocab * dim];
+        let total_steps = (config.epochs * total_tokens).max(1);
+        let mut step = 0usize;
+        let mut grad = vec![0.0f64; dim];
+        for _epoch in 0..config.epochs {
+            for sentence in corpus {
+                for (pos, &centre) in sentence.iter().enumerate() {
+                    let lr =
+                        config.learning_rate * (1.0 - step as f64 / total_steps as f64).max(1e-4);
+                    step += 1;
+                    // Randomised effective window like the reference
+                    // implementation.
+                    let b = rng.random_range(0..config.window.max(1));
+                    let lo = pos.saturating_sub(config.window - b);
+                    let hi = (pos + config.window - b + 1).min(sentence.len());
+                    for ctx_pos in lo..hi {
+                        if ctx_pos == pos {
+                            continue;
+                        }
+                        let context = sentence[ctx_pos];
+                        grad.iter_mut().for_each(|g| *g = 0.0);
+                        let wrow = centre * dim;
+                        // Positive pair.
+                        {
+                            let crow = context * dim;
+                            let dot: f64 =
+                                (0..dim).map(|d| input[wrow + d] * output[crow + d]).sum();
+                            let g = (1.0 - sigmoid(dot)) * lr;
+                            for d in 0..dim {
+                                grad[d] += g * output[crow + d];
+                                output[crow + d] += g * input[wrow + d];
+                            }
+                        }
+                        // Negative pairs.
+                        for _ in 0..config.negative {
+                            let neg = negatives.sample(&mut rng);
+                            if neg == context {
+                                continue;
+                            }
+                            let crow = neg * dim;
+                            let dot: f64 =
+                                (0..dim).map(|d| input[wrow + d] * output[crow + d]).sum();
+                            let g = -sigmoid(dot) * lr;
+                            for d in 0..dim {
+                                grad[d] += g * output[crow + d];
+                                output[crow + d] += g * input[wrow + d];
+                            }
+                        }
+                        for d in 0..dim {
+                            input[wrow + d] += grad[d];
+                        }
+                    }
+                }
+            }
+        }
+        Word2Vec {
+            input,
+            output,
+            dim,
+            vocab,
+        }
+    }
+
+    /// The input vector of a token.
+    pub fn vector(&self, token: usize) -> &[f64] {
+        &self.input[token * self.dim..(token + 1) * self.dim]
+    }
+
+    /// The output ("context") vector of a token — occasionally useful for
+    /// asymmetric similarity (the paper notes random-walk similarity is not
+    /// symmetric; input·output products expose that asymmetry).
+    pub fn context_vector(&self, token: usize) -> &[f64] {
+        &self.output[token * self.dim..(token + 1) * self.dim]
+    }
+
+    /// All input vectors as rows.
+    pub fn vectors(&self) -> Vec<Vec<f64>> {
+        (0..self.vocab).map(|t| self.vector(t).to_vec()).collect()
+    }
+
+    /// Embedding dimension.
+    pub fn dimension(&self) -> usize {
+        self.dim
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab
+    }
+
+    /// Cosine similarity of two tokens.
+    pub fn similarity(&self, a: usize, b: usize) -> f64 {
+        x2v_linalg::vector::cosine(self.vector(a), self.vector(b))
+    }
+
+    /// Analogy query "a is to b as c is to ?": the token whose vector is
+    /// most cosine-similar to `b − a + c` (excluding a, b, c) — the
+    /// vector-arithmetic regularity the paper's introduction describes with
+    /// Paris − France ≈ Santiago − Chile.
+    pub fn analogy(&self, a: usize, b: usize, c: usize) -> usize {
+        let target: Vec<f64> = (0..self.dim)
+            .map(|d| self.vector(b)[d] - self.vector(a)[d] + self.vector(c)[d])
+            .collect();
+        (0..self.vocab)
+            .filter(|&t| t != a && t != b && t != c)
+            .max_by(|&x, &y| {
+                let sx = x2v_linalg::vector::cosine(self.vector(x), &target);
+                let sy = x2v_linalg::vector::cosine(self.vector(y), &target);
+                sx.partial_cmp(&sy).expect("finite similarity")
+            })
+            .expect("vocabulary larger than 3")
+    }
+
+    /// The `k` most similar tokens to `token` (excluding itself).
+    pub fn most_similar(&self, token: usize, k: usize) -> Vec<(usize, f64)> {
+        let mut sims: Vec<(usize, f64)> = (0..self.vocab)
+            .filter(|&t| t != token)
+            .map(|t| (t, self.similarity(token, t)))
+            .collect();
+        sims.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite similarities"));
+        sims.truncate(k);
+        sims
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Synthetic corpus: tokens 0..5 co-occur, tokens 5..10 co-occur.
+    fn two_topic_corpus(seed: u64, sentences: usize) -> Vec<Vec<usize>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..sentences)
+            .map(|i| {
+                let base = if i % 2 == 0 { 0 } else { 5 };
+                (0..12).map(|_| base + rng.random_range(0..5)).collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn topic_clusters_separate() {
+        let corpus = two_topic_corpus(1, 300);
+        let cfg = SgnsConfig {
+            dim: 16,
+            epochs: 4,
+            ..Default::default()
+        };
+        let model = Word2Vec::train(&corpus, 10, &cfg);
+        // Average intra-topic similarity must beat inter-topic similarity.
+        let mut intra = 0.0;
+        let mut inter = 0.0;
+        let mut n_intra = 0;
+        let mut n_inter = 0;
+        for a in 0..10 {
+            for b in (a + 1)..10 {
+                let s = model.similarity(a, b);
+                if (a < 5) == (b < 5) {
+                    intra += s;
+                    n_intra += 1;
+                } else {
+                    inter += s;
+                    n_inter += 1;
+                }
+            }
+        }
+        let intra = intra / n_intra as f64;
+        let inter = inter / n_inter as f64;
+        assert!(
+            intra > inter + 0.3,
+            "intra {intra:.3} should clearly exceed inter {inter:.3}"
+        );
+    }
+
+    #[test]
+    fn most_similar_prefers_same_topic() {
+        let corpus = two_topic_corpus(2, 300);
+        let cfg = SgnsConfig {
+            dim: 16,
+            epochs: 4,
+            ..Default::default()
+        };
+        let model = Word2Vec::train(&corpus, 10, &cfg);
+        let top: Vec<usize> = model
+            .most_similar(0, 4)
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect();
+        let same_topic = top.iter().filter(|&&t| t < 5).count();
+        assert!(same_topic >= 3, "top-4 of token 0: {top:?}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let corpus = two_topic_corpus(3, 50);
+        let cfg = SgnsConfig {
+            dim: 8,
+            epochs: 2,
+            ..Default::default()
+        };
+        let a = Word2Vec::train(&corpus, 10, &cfg);
+        let b = Word2Vec::train(&corpus, 10, &cfg);
+        assert_eq!(a.vector(3), b.vector(3));
+    }
+
+    #[test]
+    fn analogy_stays_in_topic() {
+        // With clean two-topic structure, "t0 : t1 :: t5 : ?" should answer
+        // within topic B (tokens 5..10): the offset t1 − t0 is tiny
+        // compared with the between-topic displacement.
+        let corpus = two_topic_corpus(4, 400);
+        let cfg = SgnsConfig {
+            dim: 16,
+            epochs: 4,
+            ..Default::default()
+        };
+        let model = Word2Vec::train(&corpus, 10, &cfg);
+        let answer = model.analogy(0, 1, 5);
+        assert!((5..10).contains(&answer), "answer {answer} left the topic");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocabulary")]
+    fn oov_token_rejected() {
+        let _ = Word2Vec::train(&[vec![0, 99]], 10, &SgnsConfig::default());
+    }
+}

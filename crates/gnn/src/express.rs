@@ -1,0 +1,120 @@
+//! Executable versions of the Section 3.6 expressiveness results:
+//! GNNs with WL-invariant inputs are bounded by 1-WL; random initial
+//! features break the ceiling.
+
+use crate::model::GnnModel;
+use x2v_graph::Graph;
+use x2v_linalg::vector::euclidean;
+use x2v_wl::Refiner;
+
+/// Checks the invariance direction of the GNN ≤ 1-WL bound on a single
+/// graph: nodes with the same stable WL colour receive (numerically)
+/// identical embeddings. Returns the maximum deviation observed over
+/// same-colour node pairs.
+pub fn max_same_colour_deviation(model: &GnnModel, g: &Graph) -> f64 {
+    let h = model.node_embeddings(g);
+    let mut refiner = Refiner::new();
+    let colours = refiner.refine_to_stable(g);
+    let stable = colours.stable();
+    let mut worst = 0.0f64;
+    for v in 0..g.order() {
+        for w in (v + 1)..g.order() {
+            if stable[v] == stable[w] {
+                let d = euclidean(h.row(v), h.row(w));
+                worst = worst.max(d);
+            }
+        }
+    }
+    worst
+}
+
+/// Whether the model's sum-readout graph embeddings separate `g` and `h`
+/// by more than `tol`.
+pub fn separates(model: &GnnModel, g: &Graph, h: &Graph, tol: f64) -> bool {
+    euclidean(&model.graph_embedding(g), &model.graph_embedding(h)) > tol
+}
+
+/// Empirical expressiveness report over a pair: fraction of `trials`
+/// random-weight models that separate the graphs.
+pub fn separation_rate(
+    g: &Graph,
+    h: &Graph,
+    make_model: impl Fn(u64) -> GnnModel,
+    trials: usize,
+    tol: f64,
+) -> f64 {
+    let separated = (0..trials)
+        .filter(|&t| separates(&make_model(t as u64), g, h, tol))
+        .count();
+    separated as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Activation;
+    use crate::model::InitialFeatures;
+    use x2v_graph::generators::cycle;
+    use x2v_graph::ops::disjoint_union;
+
+    fn constant_model(seed: u64) -> GnnModel {
+        GnnModel::new(1, 8, 3, Activation::Tanh, InitialFeatures::Constant, seed)
+    }
+
+    fn random_model(seed: u64) -> GnnModel {
+        GnnModel::new(
+            4,
+            8,
+            3,
+            Activation::Tanh,
+            InitialFeatures::Random { seed: 1000 + seed },
+            seed,
+        )
+    }
+
+    #[test]
+    fn constant_init_respects_wl_classes() {
+        // Upper bound (Section 3.6): same WL colour ⇒ same embedding.
+        for seed in 0..5 {
+            let model = constant_model(seed);
+            for g in [
+                cycle(6),
+                x2v_graph::generators::path(6),
+                x2v_graph::generators::star(5),
+            ] {
+                let dev = max_same_colour_deviation(&model, &g);
+                assert!(dev < 1e-9, "seed {seed}: deviation {dev}");
+            }
+        }
+    }
+
+    #[test]
+    fn constant_init_cannot_separate_wl_equivalent_graphs() {
+        let c6 = cycle(6);
+        let tt = disjoint_union(&cycle(3), &cycle(3));
+        let rate = separation_rate(&c6, &tt, constant_model, 10, 1e-9);
+        assert_eq!(
+            rate, 0.0,
+            "no invariant GNN may separate a 1-WL-equivalent pair"
+        );
+    }
+
+    #[test]
+    fn random_features_break_the_ceiling() {
+        let c6 = cycle(6);
+        let tt = disjoint_union(&cycle(3), &cycle(3));
+        let rate = separation_rate(&c6, &tt, random_model, 10, 1e-6);
+        assert!(
+            rate > 0.8,
+            "random features should separate the pair almost always (rate {rate})"
+        );
+    }
+
+    #[test]
+    fn constant_init_separates_wl_distinct_graphs_generically() {
+        let c6 = cycle(6);
+        let p6 = x2v_graph::generators::path(6);
+        let rate = separation_rate(&c6, &p6, constant_model, 10, 1e-9);
+        assert!(rate > 0.8, "rate {rate}");
+    }
+}

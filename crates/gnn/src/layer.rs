@@ -1,0 +1,289 @@
+//! One GNN layer: aggregate (eq. 2.1) + update (eq. 2.2), with manual
+//! forward/backward passes.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use x2v_linalg::Matrix;
+
+/// Pointwise nonlinearity of the update step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Activation {
+    /// `max(0, x)` — the paper's example σ.
+    Relu,
+    /// Identity (linear layer).
+    Identity,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    fn apply(&self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Identity => x,
+            Activation::Tanh => x.tanh(),
+        }
+    }
+
+    fn derivative(&self, pre: f64) -> f64 {
+        match self {
+            Activation::Relu => {
+                if pre > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Identity => 1.0,
+            Activation::Tanh => 1.0 - pre.tanh() * pre.tanh(),
+        }
+    }
+}
+
+/// One aggregate/update layer with learnable `W_AGG ∈ ℝ^{c×d}` and
+/// `W_UP ∈ ℝ^{d'×(d+c)}`. Parameters are shared across all nodes.
+pub struct GnnLayer {
+    /// Aggregation weights (`agg_dim × in_dim`).
+    pub w_agg: Matrix,
+    /// Update weights (`out_dim × (in_dim + agg_dim)`).
+    pub w_up: Matrix,
+    /// Nonlinearity.
+    pub activation: Activation,
+}
+
+/// Cached forward state needed by the backward pass.
+pub struct LayerCache {
+    /// Layer input `H` (n × in_dim).
+    pub input: Matrix,
+    /// `A · H` (n × in_dim).
+    pub ah: Matrix,
+    /// Concatenated `[H | (A·H)·W_AGGᵀ]` (n × (in_dim + agg_dim)).
+    pub concat: Matrix,
+    /// Pre-activation `concat · W_UPᵀ` (n × out_dim).
+    pub pre: Matrix,
+}
+
+/// Gradients of a layer's parameters.
+pub struct LayerGrads {
+    /// d loss / d `W_AGG`.
+    pub w_agg: Matrix,
+    /// d loss / d `W_UP`.
+    pub w_up: Matrix,
+}
+
+impl GnnLayer {
+    /// Xavier-style random initialisation.
+    pub fn random(
+        in_dim: usize,
+        agg_dim: usize,
+        out_dim: usize,
+        activation: Activation,
+        rng: &mut StdRng,
+    ) -> Self {
+        let mut init = |rows: usize, cols: usize| {
+            let scale = (6.0 / (rows + cols) as f64).sqrt();
+            let mut m = Matrix::zeros(rows, cols);
+            for i in 0..rows {
+                for j in 0..cols {
+                    m[(i, j)] = (rng.random::<f64>() * 2.0 - 1.0) * scale;
+                }
+            }
+            m
+        };
+        GnnLayer {
+            w_agg: init(agg_dim, in_dim),
+            w_up: init(out_dim, in_dim + agg_dim),
+            activation,
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.w_agg.cols()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.w_up.rows()
+    }
+
+    /// Forward pass: `H' = σ([H | A·H·W_AGGᵀ] · W_UPᵀ)`.
+    /// `adj` is the n×n adjacency matrix.
+    pub fn forward(&self, adj: &Matrix, h: &Matrix) -> (Matrix, LayerCache) {
+        let ah = adj.matmul(h);
+        let agg = ah.matmul(&self.w_agg.transpose());
+        let n = h.rows();
+        let (d, c) = (h.cols(), agg.cols());
+        let mut concat = Matrix::zeros(n, d + c);
+        for v in 0..n {
+            concat.row_mut(v)[..d].copy_from_slice(h.row(v));
+            concat.row_mut(v)[d..].copy_from_slice(agg.row(v));
+        }
+        let pre = concat.matmul(&self.w_up.transpose());
+        let mut out = pre.clone();
+        for x in out.as_mut_slice() {
+            *x = self.activation.apply(*x);
+        }
+        (
+            out,
+            LayerCache {
+                input: h.clone(),
+                ah,
+                concat,
+                pre,
+            },
+        )
+    }
+
+    /// Backward pass: given `d_out = ∂L/∂H'`, returns `∂L/∂H` and the
+    /// parameter gradients.
+    pub fn backward(
+        &self,
+        adj: &Matrix,
+        cache: &LayerCache,
+        d_out: &Matrix,
+    ) -> (Matrix, LayerGrads) {
+        let n = d_out.rows();
+        let d = cache.input.cols();
+        // Through the activation.
+        let mut d_pre = d_out.clone();
+        for (g, &p) in d_pre.as_mut_slice().iter_mut().zip(cache.pre.as_slice()) {
+            *g *= self.activation.derivative(p);
+        }
+        // W_UP gradient and concat gradient.
+        let d_wup = d_pre.transpose().matmul(&cache.concat);
+        let d_concat = d_pre.matmul(&self.w_up);
+        // Split.
+        let c = self.w_agg.rows();
+        let mut d_h = Matrix::zeros(n, d);
+        let mut d_agg = Matrix::zeros(n, c);
+        for v in 0..n {
+            d_h.row_mut(v).copy_from_slice(&d_concat.row(v)[..d]);
+            d_agg.row_mut(v).copy_from_slice(&d_concat.row(v)[d..]);
+        }
+        // Agg = (A·H) · W_AGGᵀ ⇒ dW_AGG = d_Aggᵀ · (A·H), and the input
+        // receives Aᵀ · d_Agg · W_AGG (A symmetric here, but keep Aᵀ).
+        let d_wagg = d_agg.transpose().matmul(&cache.ah);
+        let via_agg = adj.transpose().matmul(&d_agg).matmul(&self.w_agg);
+        let d_input = &d_h + &via_agg;
+        (
+            d_input,
+            LayerGrads {
+                w_agg: d_wagg,
+                w_up: d_wup,
+            },
+        )
+    }
+
+    /// SGD parameter update.
+    pub fn apply_grads(&mut self, grads: &LayerGrads, lr: f64) {
+        let upd = |w: &mut Matrix, g: &Matrix| {
+            for (wi, gi) in w.as_mut_slice().iter_mut().zip(g.as_slice()) {
+                *wi -= lr * gi;
+            }
+        };
+        upd(&mut self.w_agg, &grads.w_agg);
+        upd(&mut self.w_up, &grads.w_up);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn finite_difference_check(activation: Activation) {
+        // Numerically verify ∂L/∂W for L = ½‖H'‖² on a tiny graph.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut layer = GnnLayer::random(2, 2, 2, activation, &mut rng);
+        let adj = Matrix::from_rows(&[&[0.0, 1.0, 0.0], &[1.0, 0.0, 1.0], &[0.0, 1.0, 0.0]]);
+        let h = Matrix::from_rows(&[&[0.3, -0.2], &[0.5, 0.1], &[-0.4, 0.7]]);
+        let loss = |layer: &GnnLayer| -> f64 {
+            let (out, _) = layer.forward(&adj, &h);
+            0.5 * out.as_slice().iter().map(|x| x * x).sum::<f64>()
+        };
+        let (out, cache) = layer.forward(&adj, &h);
+        let (_, grads) = layer.backward(&adj, &cache, &out);
+        let eps = 1e-6;
+        // Check a few entries of each parameter matrix.
+        for (r, c) in [(0, 0), (1, 1), (0, 1)] {
+            let orig = layer.w_agg[(r, c)];
+            layer.w_agg[(r, c)] = orig + eps;
+            let up = loss(&layer);
+            layer.w_agg[(r, c)] = orig - eps;
+            let down = loss(&layer);
+            layer.w_agg[(r, c)] = orig;
+            let numeric = (up - down) / (2.0 * eps);
+            assert!(
+                (numeric - grads.w_agg[(r, c)]).abs() < 1e-5,
+                "w_agg[{r},{c}]: numeric {numeric} vs analytic {}",
+                grads.w_agg[(r, c)]
+            );
+        }
+        for (r, c) in [(0, 0), (1, 2), (1, 3)] {
+            let orig = layer.w_up[(r, c)];
+            layer.w_up[(r, c)] = orig + eps;
+            let up = loss(&layer);
+            layer.w_up[(r, c)] = orig - eps;
+            let down = loss(&layer);
+            layer.w_up[(r, c)] = orig;
+            let numeric = (up - down) / (2.0 * eps);
+            assert!(
+                (numeric - grads.w_up[(r, c)]).abs() < 1e-5,
+                "w_up[{r},{c}]: numeric {numeric} vs analytic {}",
+                grads.w_up[(r, c)]
+            );
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_differences_identity() {
+        finite_difference_check(Activation::Identity);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences_tanh() {
+        finite_difference_check(Activation::Tanh);
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let layer = GnnLayer::random(2, 2, 2, Activation::Tanh, &mut rng);
+        let adj = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let mut h = Matrix::from_rows(&[&[0.2, -0.1], &[0.4, 0.3]]);
+        let loss = |h: &Matrix| {
+            let (out, _) = layer.forward(&adj, h);
+            0.5 * out.as_slice().iter().map(|x| x * x).sum::<f64>()
+        };
+        let (out, cache) = layer.forward(&adj, &h);
+        let (d_in, _) = layer.backward(&adj, &cache, &out);
+        let eps = 1e-6;
+        for (r, c) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+            let orig = h[(r, c)];
+            h[(r, c)] = orig + eps;
+            let up = loss(&h);
+            h[(r, c)] = orig - eps;
+            let down = loss(&h);
+            h[(r, c)] = orig;
+            let numeric = (up - down) / (2.0 * eps);
+            assert!(
+                (numeric - d_in[(r, c)]).abs() < 1e-5,
+                "h[{r},{c}]: numeric {numeric} vs analytic {}",
+                d_in[(r, c)]
+            );
+        }
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let layer = GnnLayer::random(3, 4, 5, Activation::Relu, &mut rng);
+        assert_eq!(layer.in_dim(), 3);
+        assert_eq!(layer.out_dim(), 5);
+        let adj = Matrix::zeros(6, 6);
+        let h = Matrix::zeros(6, 3);
+        let (out, _) = layer.forward(&adj, &h);
+        assert_eq!((out.rows(), out.cols()), (6, 5));
+    }
+}

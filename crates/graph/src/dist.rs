@@ -1,0 +1,234 @@
+//! Distance and connectivity primitives: BFS, all-pairs shortest paths,
+//! components, bipartiteness, triangle counts.
+//!
+//! These feed the metric node embeddings of Section 2.1 (similarity matrices
+//! `exp(-c · dist)`), the shortest-path graph kernel (Section 2.4), and
+//! various dataset generators.
+
+use crate::Graph;
+use std::collections::VecDeque;
+
+/// Marker for "unreachable" in distance arrays.
+pub const INF: usize = usize::MAX;
+
+/// BFS distances from `src`; unreachable nodes get [`INF`].
+pub fn bfs_distances(g: &Graph, src: usize) -> Vec<usize> {
+    let mut dist = vec![INF; g.order()];
+    let mut queue = VecDeque::with_capacity(g.order());
+    dist[src] = 0;
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v] + 1;
+        for &w in g.neighbours(v) {
+            if dist[w] == INF {
+                dist[w] = d;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// All-pairs shortest-path matrix via repeated BFS, row-major `n * n`.
+pub fn all_pairs_distances(g: &Graph) -> Vec<usize> {
+    let n = g.order();
+    let mut out = Vec::with_capacity(n * n);
+    for v in 0..n {
+        out.extend_from_slice(&bfs_distances(g, v));
+    }
+    out
+}
+
+/// The diameter (max finite distance); `None` for the empty graph, [`INF`]
+/// wrapped in `Some` never occurs — disconnected graphs return the largest
+/// finite eccentricity over all components.
+pub fn diameter(g: &Graph) -> Option<usize> {
+    if g.order() == 0 {
+        return None;
+    }
+    let mut best = 0;
+    for v in 0..g.order() {
+        for &d in bfs_distances(g, v).iter() {
+            if d != INF && d > best {
+                best = d;
+            }
+        }
+    }
+    Some(best)
+}
+
+/// Component id per node (ids are `0..k` in first-seen order).
+pub fn connected_components(g: &Graph) -> Vec<usize> {
+    let n = g.order();
+    let mut comp = vec![usize::MAX; n];
+    let mut next = 0;
+    let mut stack = Vec::new();
+    for s in 0..n {
+        if comp[s] != usize::MAX {
+            continue;
+        }
+        comp[s] = next;
+        stack.push(s);
+        while let Some(v) = stack.pop() {
+            for &w in g.neighbours(v) {
+                if comp[w] == usize::MAX {
+                    comp[w] = next;
+                    stack.push(w);
+                }
+            }
+        }
+        next += 1;
+    }
+    comp
+}
+
+/// Whether the graph is connected (the empty graph counts as connected).
+pub fn is_connected(g: &Graph) -> bool {
+    let comp = connected_components(g);
+    comp.iter().all(|&c| c == 0)
+}
+
+/// 2-colouring if the graph is bipartite, `None` otherwise.
+pub fn bipartition(g: &Graph) -> Option<Vec<u8>> {
+    let n = g.order();
+    let mut colour = vec![u8::MAX; n];
+    let mut queue = VecDeque::new();
+    for s in 0..n {
+        if colour[s] != u8::MAX {
+            continue;
+        }
+        colour[s] = 0;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            for &w in g.neighbours(v) {
+                if colour[w] == u8::MAX {
+                    colour[w] = 1 - colour[v];
+                    queue.push_back(w);
+                } else if colour[w] == colour[v] {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(colour)
+}
+
+/// Number of triangles in the graph.
+pub fn triangle_count(g: &Graph) -> usize {
+    let mut count = 0;
+    for (u, v) in g.edges() {
+        // Count common neighbours w with w > v > u to count each triangle once.
+        let (mut i, mut j) = (0, 0);
+        let nu = g.neighbours(u);
+        let nv = g.neighbours(v);
+        while i < nu.len() && j < nv.len() {
+            match nu[i].cmp(&nv[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    if nu[i] > v {
+                        count += 1;
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Girth (length of a shortest cycle); `None` for forests.
+pub fn girth(g: &Graph) -> Option<usize> {
+    // BFS from each vertex; a non-tree edge at depths (d1, d2) closes a cycle
+    // of length d1 + d2 + 1.
+    let n = g.order();
+    let mut best: Option<usize> = None;
+    for s in 0..n {
+        let mut dist = vec![INF; n];
+        let mut parent = vec![usize::MAX; n];
+        let mut queue = VecDeque::new();
+        dist[s] = 0;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            for &w in g.neighbours(v) {
+                if dist[w] == INF {
+                    dist[w] = dist[v] + 1;
+                    parent[w] = v;
+                    queue.push_back(w);
+                } else if parent[v] != w {
+                    let cyc = dist[v] + dist[w] + 1;
+                    if best.is_none_or(|b| cyc < b) {
+                        best = Some(cyc);
+                    }
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn path_distances() {
+        let p = generators::path(5);
+        assert_eq!(bfs_distances(&p, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(diameter(&p), Some(4));
+    }
+
+    #[test]
+    fn cycle_distances() {
+        let c = generators::cycle(6);
+        let d = bfs_distances(&c, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 2, 1]);
+        assert_eq!(diameter(&c), Some(3));
+    }
+
+    #[test]
+    fn disconnected_components_and_inf() {
+        let g = crate::ops::disjoint_union(&generators::path(2), &generators::path(2));
+        assert!(!is_connected(&g));
+        assert_eq!(connected_components(&g), vec![0, 0, 1, 1]);
+        assert_eq!(bfs_distances(&g, 0)[2], INF);
+    }
+
+    #[test]
+    fn bipartite_detection() {
+        assert!(bipartition(&generators::cycle(6)).is_some());
+        assert!(bipartition(&generators::cycle(5)).is_none());
+        assert!(bipartition(&generators::complete(3)).is_none());
+        assert!(bipartition(&generators::complete_bipartite(3, 4)).is_some());
+    }
+
+    #[test]
+    fn triangles() {
+        assert_eq!(triangle_count(&generators::complete(4)), 4);
+        assert_eq!(triangle_count(&generators::cycle(6)), 0);
+        assert_eq!(triangle_count(&generators::cycle(3)), 1);
+        assert_eq!(triangle_count(&generators::complete(5)), 10);
+    }
+
+    #[test]
+    fn girth_cases() {
+        assert_eq!(girth(&generators::cycle(5)), Some(5));
+        assert_eq!(girth(&generators::complete(4)), Some(3));
+        assert_eq!(girth(&generators::path(10)), None);
+        assert_eq!(girth(&generators::petersen()), Some(5));
+    }
+
+    #[test]
+    fn all_pairs_matches_single_source() {
+        let g = generators::petersen();
+        let ap = all_pairs_distances(&g);
+        for v in 0..g.order() {
+            assert_eq!(
+                &ap[v * g.order()..(v + 1) * g.order()],
+                &bfs_distances(&g, v)[..]
+            );
+        }
+    }
+}

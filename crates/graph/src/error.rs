@@ -1,0 +1,68 @@
+use std::fmt;
+
+/// Errors produced when constructing or parsing graphs and structures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node index was `>= n` for a graph of order `n`.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// The order of the graph.
+        order: usize,
+    },
+    /// A self-loop `(v, v)` was supplied to a simple-graph builder.
+    SelfLoop(usize),
+    /// The same edge was supplied twice to a simple-graph builder.
+    DuplicateEdge(usize, usize),
+    /// A label vector's length did not match the graph order.
+    LabelLengthMismatch {
+        /// Number of labels supplied.
+        got: usize,
+        /// Expected number (the graph order).
+        expected: usize,
+    },
+    /// A tuple supplied to a relational structure had the wrong arity.
+    ArityMismatch {
+        /// Name of the relation.
+        relation: String,
+        /// Arity the tuple should have had.
+        expected: usize,
+        /// Arity it actually had.
+        got: usize,
+    },
+    /// Textual input could not be parsed.
+    Parse(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, order } => {
+                write!(
+                    f,
+                    "node index {node} out of range for graph of order {order}"
+                )
+            }
+            GraphError::SelfLoop(v) => {
+                write!(f, "self-loop at node {v} not allowed in a simple graph")
+            }
+            GraphError::DuplicateEdge(u, v) => write!(f, "duplicate edge ({u}, {v})"),
+            GraphError::LabelLengthMismatch { got, expected } => {
+                write!(f, "label vector has length {got}, expected {expected}")
+            }
+            GraphError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "relation {relation} expects arity {expected}, got a tuple of arity {got}"
+                )
+            }
+            GraphError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}

@@ -1,0 +1,115 @@
+//! Plain-text graph serialisation.
+//!
+//! Format (one graph per string):
+//!
+//! ```text
+//! n m
+//! u1 v1
+//! …
+//! um vm
+//! [labels l0 l1 … l(n-1)]     # optional final line
+//! ```
+
+use crate::{Graph, GraphError, Result};
+use std::fmt::Write as _;
+
+/// Serialises a graph to the text format.
+pub fn to_text(g: &Graph) -> String {
+    let mut s = String::new();
+    writeln!(s, "{} {}", g.order(), g.size()).expect("string write");
+    for (u, v) in g.edges() {
+        writeln!(s, "{u} {v}").expect("string write");
+    }
+    if g.is_labelled() {
+        s.push_str("labels");
+        for &l in g.labels() {
+            write!(s, " {l}").expect("string write");
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Parses a graph from the text format.
+///
+/// # Errors
+/// Returns [`GraphError::Parse`] on malformed input and the usual builder
+/// errors on invalid edges.
+pub fn from_text(text: &str) -> Result<Graph> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines
+        .next()
+        .ok_or_else(|| GraphError::Parse("empty input".into()))?;
+    let mut parts = header.split_whitespace();
+    let n: usize = parts
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| GraphError::Parse(format!("bad header: {header:?}")))?;
+    let m: usize = parts
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| GraphError::Parse(format!("bad header: {header:?}")))?;
+    let mut edges = Vec::with_capacity(m);
+    let mut labels: Option<Vec<u32>> = None;
+    for line in lines {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("labels") {
+            let ls: std::result::Result<Vec<u32>, _> =
+                rest.split_whitespace().map(str::parse).collect();
+            labels = Some(ls.map_err(|e| GraphError::Parse(format!("bad labels: {e}")))?);
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let u: usize = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| GraphError::Parse(format!("bad edge line: {line:?}")))?;
+        let v: usize = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| GraphError::Parse(format!("bad edge line: {line:?}")))?;
+        edges.push((u, v));
+    }
+    if edges.len() != m {
+        return Err(GraphError::Parse(format!(
+            "header promised {m} edges, found {}",
+            edges.len()
+        )));
+    }
+    let g = Graph::from_edges(n, &edges)?;
+    match labels {
+        Some(ls) => g.with_labels(ls),
+        None => Ok(g),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::petersen;
+
+    #[test]
+    fn roundtrip_plain() {
+        let g = petersen();
+        let parsed = from_text(&to_text(&g)).unwrap();
+        assert_eq!(g, parsed);
+    }
+
+    #[test]
+    fn roundtrip_labelled() {
+        let g = crate::generators::path(3)
+            .with_labels(vec![5, 0, 7])
+            .unwrap();
+        let parsed = from_text(&to_text(&g)).unwrap();
+        assert_eq!(g, parsed);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(from_text("").is_err());
+        assert!(from_text("nonsense").is_err());
+        assert!(from_text("2 1\n0").is_err());
+        assert!(from_text("2 2\n0 1").is_err());
+        assert!(from_text("2 1\n0 9").is_err());
+    }
+}

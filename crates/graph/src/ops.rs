@@ -1,0 +1,304 @@
+//! Graph operations: disjoint union, complement, permutation, subgraphs,
+//! line graphs, and the blow-up used by Section 5's distance measures.
+
+use crate::{Graph, GraphBuilder};
+
+/// Disjoint union `G ∪ H`. Nodes of `h` are shifted by `g.order()`.
+pub fn disjoint_union(g: &Graph, h: &Graph) -> Graph {
+    let n = g.order() + h.order();
+    let shift = g.order();
+    let mut b = GraphBuilder::new(n);
+    for (u, v) in g.edges() {
+        b.add_edge(u, v).expect("valid source edges");
+    }
+    for (u, v) in h.edges() {
+        b.add_edge(u + shift, v + shift)
+            .expect("valid source edges");
+    }
+    for (v, &l) in g.labels().iter().enumerate() {
+        b.set_label(v, l).expect("in range");
+    }
+    for (v, &l) in h.labels().iter().enumerate() {
+        b.set_label(v + shift, l).expect("in range");
+    }
+    b.build()
+}
+
+/// Disjoint union of many graphs.
+pub fn disjoint_union_all<'a, I: IntoIterator<Item = &'a Graph>>(graphs: I) -> Graph {
+    let mut acc = Graph::empty(0);
+    for g in graphs {
+        acc = disjoint_union(&acc, g);
+    }
+    acc
+}
+
+/// The complement graph (labels preserved).
+pub fn complement(g: &Graph) -> Graph {
+    let n = g.order();
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if !g.has_edge(u, v) {
+                b.add_edge(u, v).expect("fresh edge");
+            }
+        }
+    }
+    for (v, &l) in g.labels().iter().enumerate() {
+        b.set_label(v, l).expect("in range");
+    }
+    b.build()
+}
+
+/// Relabels nodes by a permutation: node `v` of `g` becomes `perm[v]`.
+///
+/// The result is isomorphic to `g`; this is the workhorse for
+/// isomorphism-invariance property tests.
+pub fn permute(g: &Graph, perm: &[usize]) -> Graph {
+    assert_eq!(perm.len(), g.order(), "permutation length must equal order");
+    let mut seen = vec![false; g.order()];
+    for &p in perm {
+        assert!(p < g.order() && !seen[p], "not a permutation");
+        seen[p] = true;
+    }
+    let mut b = GraphBuilder::new(g.order());
+    for (u, v) in g.edges() {
+        b.add_edge(perm[u], perm[v]).expect("permuted simple graph");
+    }
+    for (v, &l) in g.labels().iter().enumerate() {
+        b.set_label(perm[v], l).expect("in range");
+    }
+    b.build()
+}
+
+/// The subgraph induced by `nodes` (which must be distinct). Node `i` of the
+/// result corresponds to `nodes[i]`.
+pub fn induced_subgraph(g: &Graph, nodes: &[usize]) -> Graph {
+    let mut b = GraphBuilder::new(nodes.len());
+    for (i, &u) in nodes.iter().enumerate() {
+        b.set_label(i, g.label(u)).expect("in range");
+        for (j, &v) in nodes.iter().enumerate().skip(i + 1) {
+            if g.has_edge(u, v) {
+                b.add_edge(i, j).expect("induced simple graph");
+            }
+        }
+    }
+    b.build()
+}
+
+/// The line graph `L(G)`: one node per edge of `G`, adjacent iff the edges
+/// share an endpoint.
+pub fn line_graph(g: &Graph) -> Graph {
+    let edges = g.edge_vec();
+    let mut b = GraphBuilder::new(edges.len());
+    for i in 0..edges.len() {
+        for j in (i + 1)..edges.len() {
+            let (a, c) = edges[i];
+            let (x, y) = edges[j];
+            if a == x || a == y || c == x || c == y {
+                b.add_edge(i, j).expect("fresh edge");
+            }
+        }
+    }
+    b.build()
+}
+
+/// The `k`-fold blow-up: every node becomes an independent set of `k` copies,
+/// every edge a complete bipartite bundle. Used to compare graphs of
+/// different orders via the least common multiple (Section 5.1, after [67]).
+pub fn blow_up(g: &Graph, k: usize) -> Graph {
+    assert!(k >= 1, "blow-up factor must be positive");
+    let n = g.order();
+    let mut b = GraphBuilder::new(n * k);
+    for (u, v) in g.edges() {
+        for i in 0..k {
+            for j in 0..k {
+                b.add_edge(u * k + i, v * k + j).expect("fresh edge");
+            }
+        }
+    }
+    for v in 0..n {
+        for i in 0..k {
+            b.set_label(v * k + i, g.label(v)).expect("in range");
+        }
+    }
+    b.build()
+}
+
+/// Splits a graph into its connected components (as induced subgraphs, each
+/// with its original-node index map).
+pub fn components(g: &Graph) -> Vec<(Graph, Vec<usize>)> {
+    let comps = crate::dist::connected_components(g);
+    let ncomp = comps.iter().copied().max().map_or(0, |m| m + 1);
+    let mut nodes_of: Vec<Vec<usize>> = vec![Vec::new(); ncomp];
+    for (v, &c) in comps.iter().enumerate() {
+        nodes_of[c].push(v);
+    }
+    nodes_of
+        .into_iter()
+        .map(|nodes| (induced_subgraph(g, &nodes), nodes))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn union_of_triangles_is_two_components() {
+        let t = generators::cycle(3);
+        let u = disjoint_union(&t, &t);
+        assert_eq!(u.order(), 6);
+        assert_eq!(u.size(), 6);
+        assert_eq!(components(&u).len(), 2);
+    }
+
+    #[test]
+    fn complement_involutive() {
+        let g = generators::path(5);
+        assert_eq!(complement(&complement(&g)), g);
+    }
+
+    #[test]
+    fn complement_of_complete_is_empty() {
+        let g = generators::complete(4);
+        assert_eq!(complement(&g).size(), 0);
+    }
+
+    #[test]
+    fn permute_preserves_degree_sequence() {
+        let g = generators::star(5);
+        let p = permute(&g, &[5, 4, 3, 2, 1, 0]);
+        assert_eq!(g.degree_sequence(), p.degree_sequence());
+        assert!(p.has_edge(5, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn permute_rejects_non_permutation() {
+        let g = generators::path(3);
+        permute(&g, &[0, 0, 1]);
+    }
+
+    #[test]
+    fn induced_subgraph_of_cycle() {
+        let c = generators::cycle(5);
+        let sub = induced_subgraph(&c, &[0, 1, 2]);
+        // path on 3 nodes
+        assert_eq!(sub.size(), 2);
+        assert_eq!(sub.degree(1), 2);
+    }
+
+    #[test]
+    fn line_graph_of_path() {
+        // L(P4) = P3
+        let p = generators::path(4);
+        let l = line_graph(&p);
+        assert_eq!(l.order(), 3);
+        assert_eq!(l.size(), 2);
+    }
+
+    #[test]
+    fn line_graph_of_star_is_complete() {
+        let s = generators::star(4);
+        let l = line_graph(&s);
+        assert_eq!(l.order(), 4);
+        assert_eq!(l.size(), 6);
+    }
+
+    #[test]
+    fn blow_up_counts() {
+        let e = generators::path(2); // single edge
+        let b = blow_up(&e, 3);
+        assert_eq!(b.order(), 6);
+        assert_eq!(b.size(), 9);
+    }
+}
+
+/// The Cartesian product `G □ H`: vertices `V(G) × V(H)`; `(u, v)` adjacent
+/// to `(u', v')` iff (`u = u'` and `vv' ∈ E(H)`) or (`uu' ∈ E(G)` and
+/// `v = v'`). Node `(u, v)` has index `u · |H| + v`.
+pub fn cartesian_product(g: &Graph, h: &Graph) -> Graph {
+    let (n, m) = (g.order(), h.order());
+    let mut b = GraphBuilder::new(n * m);
+    for u in 0..n {
+        for (v, w) in h.edges() {
+            b.add_edge(u * m + v, u * m + w).expect("fresh");
+        }
+    }
+    for (u, up) in g.edges() {
+        for v in 0..m {
+            b.add_edge(u * m + v, up * m + v).expect("fresh");
+        }
+    }
+    b.build()
+}
+
+/// The tensor (categorical) product `G × H`: `(u, v)` adjacent to
+/// `(u', v')` iff `uu' ∈ E(G)` and `vv' ∈ E(H)`. This is the categorical
+/// product of graphs: homomorphisms into it are pairs of homomorphisms, so
+/// `hom(F, G × H) = hom(F, G) · hom(F, H)` — the identity behind the
+/// direct-product random-walk kernel.
+pub fn tensor_product(g: &Graph, h: &Graph) -> Graph {
+    let m = h.order();
+    let mut b = GraphBuilder::new(g.order() * m);
+    for (u, up) in g.edges() {
+        for (v, vp) in h.edges() {
+            // Both orientations of the pair of undirected edges.
+            let _ = b
+                .add_edge_idempotent(u * m + v, up * m + vp)
+                .expect("in range");
+            let _ = b
+                .add_edge_idempotent(u * m + vp, up * m + v)
+                .expect("in range");
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod product_tests {
+    use super::*;
+    use crate::generators::{complete, cycle, path};
+
+    #[test]
+    fn cartesian_k2_square_is_c4() {
+        let k2 = path(2);
+        let c4 = cartesian_product(&k2, &k2);
+        assert!(crate::iso::are_isomorphic(&c4, &cycle(4)));
+    }
+
+    #[test]
+    fn cartesian_degree_sum() {
+        // deg_{G□H}(u,v) = deg_G(u) + deg_H(v).
+        let g = cycle(3);
+        let h = path(3);
+        let p = cartesian_product(&g, &h);
+        for u in 0..3 {
+            for v in 0..3 {
+                assert_eq!(p.degree(u * 3 + v), g.degree(u) + h.degree(v));
+            }
+        }
+    }
+
+    #[test]
+    fn tensor_product_edge_count() {
+        // |E(G × H)| = 2 |E(G)| |E(H)| for simple graphs without
+        // degenerate identifications.
+        let g = cycle(5);
+        let h = path(4);
+        let t = tensor_product(&g, &h);
+        assert_eq!(t.size(), 2 * g.size() * h.size());
+    }
+
+    #[test]
+    fn tensor_of_bipartite_disconnects() {
+        // K2 × K2 = two disjoint edges.
+        let k2 = complete(2);
+        let t = tensor_product(&k2, &k2);
+        assert_eq!(t.order(), 4);
+        assert_eq!(t.size(), 2);
+        assert_eq!(crate::ops::components(&t).len(), 2);
+    }
+}

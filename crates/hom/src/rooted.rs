@@ -1,0 +1,145 @@
+//! Rooted homomorphism vectors as node embeddings (Section 4.4).
+//!
+//! For a class `F*` of rooted graphs, a node `v` of `G` is embedded as
+//! `Hom_{F*}(G, v) = (hom(F, G; u ↦ v) | (F, u) ∈ F*)`. This embedding is
+//! *inductive* — not tied to a fixed graph — and by Theorem 4.14 the rooted-
+//! tree version captures exactly the stable 1-WL colour of `v`.
+
+use crate::trees::{rooted_hom_counts, rooted_hom_counts_f64};
+use x2v_graph::enumerate::rooted_trees;
+use x2v_graph::Graph;
+use x2v_wl::Refiner;
+
+/// A basis of rooted patterns for node embeddings.
+#[derive(Clone)]
+pub struct RootedBasis {
+    /// `(pattern, root)` pairs. Patterns must currently be trees (the DP is
+    /// the tree DP; general patterns can be added via `decomp`).
+    pub patterns: Vec<(Graph, usize)>,
+}
+
+impl RootedBasis {
+    /// All rooted trees with between 1 and `max_order` nodes — the class
+    /// `T*` of Theorem 4.14, truncated.
+    pub fn all_rooted_trees(max_order: usize) -> Self {
+        let mut patterns = Vec::new();
+        for n in 1..=max_order {
+            patterns.extend(rooted_trees(n));
+        }
+        RootedBasis { patterns }
+    }
+
+    /// Number of basis patterns (the embedding dimension).
+    pub fn dimension(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// The exact rooted-hom embedding of every node of `g`:
+    /// `result[v][i] = hom(F_i, G; u_i ↦ v)`.
+    pub fn embed_exact(&self, g: &Graph) -> Vec<Vec<u128>> {
+        let n = g.order();
+        let mut out = vec![Vec::with_capacity(self.dimension()); n];
+        for (t, root) in &self.patterns {
+            let counts = rooted_hom_counts(t, *root, g);
+            for (v, row) in out.iter_mut().enumerate() {
+                row.push(counts[v]);
+            }
+        }
+        out
+    }
+
+    /// The log-scaled embedding `(1/|F|) · log(1 + hom(F, G; u ↦ v))` the
+    /// paper recommends for practical use (Section 4).
+    pub fn embed_log(&self, g: &Graph) -> Vec<Vec<f64>> {
+        let n = g.order();
+        let mut out = vec![Vec::with_capacity(self.dimension()); n];
+        for (t, root) in &self.patterns {
+            let counts = rooted_hom_counts_f64(t, *root, g);
+            let scale = 1.0 / t.order() as f64;
+            for (v, row) in out.iter_mut().enumerate() {
+                row.push(scale * (1.0 + counts[v]).ln());
+            }
+        }
+        out
+    }
+}
+
+/// Theorem 4.14 as a decision procedure: nodes `v ∈ G`, `w ∈ H` have equal
+/// rooted-tree hom vectors iff 1-WL gives them the same stable colour.
+pub fn nodes_tree_hom_equivalent(g: &Graph, v: usize, h: &Graph, w: usize) -> bool {
+    Refiner::new().same_stable_colour(g, v, h, w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use x2v_graph::generators::{cycle, path, star};
+    use x2v_graph::ops::disjoint_union;
+
+    #[test]
+    fn basis_dimension_counts() {
+        // Rooted trees: 1 + 1 + 2 + 4 = 8 patterns up to order 4.
+        assert_eq!(RootedBasis::all_rooted_trees(4).dimension(), 8);
+    }
+
+    #[test]
+    fn embedding_separates_wl_distinct_nodes() {
+        let basis = RootedBasis::all_rooted_trees(4);
+        let p = path(4);
+        let e = basis.embed_exact(&p);
+        assert_ne!(e[0], e[1], "end vs inner node must differ");
+        assert_eq!(e[0], e[3], "the two ends agree");
+        assert_eq!(e[1], e[2]);
+    }
+
+    #[test]
+    fn wl_equivalent_nodes_have_equal_vectors() {
+        // All nodes of C6 and of 2×C3 share a stable colour, hence equal
+        // rooted-tree hom vectors (Theorem 4.14, easy direction).
+        let basis = RootedBasis::all_rooted_trees(5);
+        let c6 = cycle(6);
+        let tt = disjoint_union(&cycle(3), &cycle(3));
+        let e1 = basis.embed_exact(&c6);
+        let e2 = basis.embed_exact(&tt);
+        assert_eq!(e1[0], e2[0]);
+        assert!(nodes_tree_hom_equivalent(&c6, 0, &tt, 5));
+    }
+
+    #[test]
+    fn theorem_4_14_both_directions_small() {
+        let basis = RootedBasis::all_rooted_trees(6);
+        let graphs = [path(5), star(4), cycle(5)];
+        for g in &graphs {
+            for h in &graphs {
+                let eg = basis.embed_exact(g);
+                let eh = basis.embed_exact(h);
+                for v in 0..g.order() {
+                    for w in 0..h.order() {
+                        let wl_same = nodes_tree_hom_equivalent(g, v, h, w);
+                        let hom_same = eg[v] == eh[w];
+                        // Truncated basis: WL-same ⟹ hom-same must hold
+                        // exactly; hom-same ⟹ WL-same holds here because
+                        // depth-6 trees suffice for these tiny graphs.
+                        assert_eq!(wl_same, hom_same, "{v} vs {w}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn log_embedding_shape_and_monotonicity() {
+        let basis = RootedBasis::all_rooted_trees(4);
+        let s = star(5);
+        let e = basis.embed_log(&s);
+        assert_eq!(e.len(), 6);
+        assert_eq!(e[0].len(), basis.dimension());
+        // The hub has more rooted maps of the 2-node tree than a leaf.
+        let edge_idx = basis
+            .patterns
+            .iter()
+            .position(|(t, _)| t.order() == 2)
+            .unwrap();
+        assert!(e[0][edge_idx] > e[1][edge_idx]);
+    }
+}

@@ -1,0 +1,327 @@
+//! Exact treewidth and tree decompositions for small pattern graphs.
+//!
+//! Treewidth is the parameter that governs the complexity of homomorphism
+//! counting (Section 4.3, Dalmau–Jonsson): `hom(F, ·)` is polynomial iff
+//! `F` ranges over a bounded-treewidth class. We compute exact treewidth by
+//! the classic `O(2^n · n²)` subset dynamic program over elimination
+//! prefixes, recover an optimal elimination order, and turn it into a tree
+//! decomposition (and a *nice* one for the counting DP in
+//! [`crate::decomp`]).
+
+use x2v_graph::Graph;
+
+/// A tree decomposition: bags plus tree edges between bag indices.
+#[derive(Clone, Debug)]
+pub struct TreeDecomposition {
+    /// The bags (each a sorted set of pattern vertices).
+    pub bags: Vec<Vec<usize>>,
+    /// Edges of the decomposition tree.
+    pub edges: Vec<(usize, usize)>,
+    /// The width: `max |bag| − 1`.
+    pub width: usize,
+}
+
+impl TreeDecomposition {
+    /// Validates the three tree-decomposition axioms against `g`:
+    /// all vertices covered, all edges covered, and connectivity of the set
+    /// of bags containing each vertex.
+    pub fn is_valid_for(&self, g: &Graph) -> bool {
+        let n = g.order();
+        let b = self.bags.len();
+        if b == 0 {
+            return n == 0;
+        }
+        // Tree check: connected with b-1 edges.
+        if self.edges.len() + 1 != b {
+            return false;
+        }
+        let mut adj = vec![Vec::new(); b];
+        for &(x, y) in &self.edges {
+            if x >= b || y >= b {
+                return false;
+            }
+            adj[x].push(y);
+            adj[y].push(x);
+        }
+        let mut seen = vec![false; b];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut cnt = 0;
+        while let Some(x) = stack.pop() {
+            cnt += 1;
+            for &y in &adj[x] {
+                if !seen[y] {
+                    seen[y] = true;
+                    stack.push(y);
+                }
+            }
+        }
+        if cnt != b {
+            return false;
+        }
+        // Vertex and edge coverage.
+        let mut covered = vec![false; n];
+        for bag in &self.bags {
+            for &v in bag {
+                if v >= n {
+                    return false;
+                }
+                covered[v] = true;
+            }
+        }
+        if !covered.iter().all(|&c| c) {
+            return false;
+        }
+        for (u, v) in g.edges() {
+            if !self
+                .bags
+                .iter()
+                .any(|bag| bag.contains(&u) && bag.contains(&v))
+            {
+                return false;
+            }
+        }
+        // Connectivity of occurrences of each vertex.
+        for v in 0..n {
+            let occ: Vec<usize> = (0..b).filter(|&i| self.bags[i].contains(&v)).collect();
+            if occ.is_empty() {
+                return false;
+            }
+            let mut seen = vec![false; b];
+            let mut stack = vec![occ[0]];
+            seen[occ[0]] = true;
+            let mut reached = 0;
+            while let Some(x) = stack.pop() {
+                reached += 1;
+                for &y in &adj[x] {
+                    if !seen[y] && self.bags[y].contains(&v) {
+                        seen[y] = true;
+                        stack.push(y);
+                    }
+                }
+            }
+            if reached != occ.len() {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// The number of vertices outside `eliminated ∪ {v}` that `v` sees after
+/// eliminating `eliminated`: neighbours of `v` reachable through eliminated
+/// vertices.
+fn fill_degree(g: &Graph, eliminated: u32, v: usize) -> usize {
+    let n = g.order();
+    let mut seen = 0u32;
+    let mut stack = vec![v];
+    seen |= 1 << v;
+    let mut outside = 0usize;
+    while let Some(x) = stack.pop() {
+        for &w in g.neighbours(x) {
+            if seen >> w & 1 == 1 {
+                continue;
+            }
+            seen |= 1 << w;
+            if eliminated >> w & 1 == 1 {
+                stack.push(w);
+            } else {
+                outside += 1;
+            }
+        }
+    }
+    let _ = n;
+    outside
+}
+
+/// Exact treewidth by subset DP. Limited to 24 vertices (bitmask subsets).
+///
+/// Returns `(treewidth, elimination_order)` where eliminating in that order
+/// never creates a front larger than the treewidth.
+pub fn exact_treewidth(g: &Graph) -> (usize, Vec<usize>) {
+    let n = g.order();
+    assert!(n <= 24, "exact treewidth limited to 24 vertices");
+    if n == 0 {
+        return (0, Vec::new());
+    }
+    let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+    // dp[s] = minimal max-front over orderings eliminating exactly set s
+    // first; choice[s] = the vertex eliminated last within s achieving it.
+    let mut dp = vec![u8::MAX; (full as usize) + 1];
+    let mut choice = vec![u8::MAX; (full as usize) + 1];
+    dp[0] = 0;
+    for s in 1..=(full as usize) {
+        let su = s as u32;
+        let mut best = u8::MAX;
+        let mut best_v = u8::MAX;
+        let mut bits = su;
+        while bits != 0 {
+            let v = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let prev = su & !(1 << v);
+            let sub = dp[prev as usize];
+            if sub == u8::MAX {
+                continue;
+            }
+            let deg = fill_degree(g, prev, v) as u8;
+            let cost = sub.max(deg);
+            if cost < best {
+                best = cost;
+                best_v = v as u8;
+            }
+        }
+        dp[s] = best;
+        choice[s] = best_v;
+    }
+    // Recover the elimination order.
+    let mut order = Vec::with_capacity(n);
+    let mut s = full;
+    while s != 0 {
+        let v = choice[s as usize] as usize;
+        order.push(v);
+        s &= !(1 << v);
+    }
+    order.reverse();
+    (dp[full as usize] as usize, order)
+}
+
+/// Builds a tree decomposition of width `tw` from an elimination order
+/// achieving it: bag of `v` = `{v} ∪ (front of v)`, attached to the bag of
+/// the first later-eliminated vertex in its front.
+pub fn decomposition_from_order(g: &Graph, order: &[usize]) -> TreeDecomposition {
+    let n = g.order();
+    assert!(n <= 32, "bitmask construction limited to 32 vertices");
+    if n == 0 {
+        return TreeDecomposition {
+            bags: vec![],
+            edges: vec![],
+            width: 0,
+        };
+    }
+    let mut pos = vec![0usize; n];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v] = i;
+    }
+    // front(v): vertices eliminated after v that v sees through earlier ones.
+    let mut bags: Vec<Vec<usize>> = Vec::with_capacity(n);
+    let mut width = 0;
+    for (i, &v) in order.iter().enumerate() {
+        let eliminated: u32 = order[..i].iter().map(|&u| 1u32 << u).sum();
+        let mut seen = 0u32;
+        let mut stack = vec![v];
+        seen |= 1 << v;
+        let mut front = Vec::new();
+        while let Some(x) = stack.pop() {
+            for &w in g.neighbours(x) {
+                if seen >> w & 1 == 1 {
+                    continue;
+                }
+                seen |= 1 << w;
+                if eliminated >> w & 1 == 1 {
+                    stack.push(w);
+                } else {
+                    front.push(w);
+                }
+            }
+        }
+        let mut bag = front.clone();
+        bag.push(v);
+        bag.sort_unstable();
+        width = width.max(bag.len().saturating_sub(1));
+        bags.push(bag);
+    }
+    // Tree edges: bag i (of order[i]) attaches to the bag of the earliest-
+    // eliminated front member (which is eliminated later than v).
+    let mut edges = Vec::new();
+    for (i, &v) in order.iter().enumerate() {
+        let bag = &bags[i];
+        let next = bag.iter().filter(|&&u| u != v).min_by_key(|&&u| pos[u]);
+        if let Some(&u) = next {
+            edges.push((i, pos[u]));
+        } else if i + 1 < n {
+            // Isolated front: attach anywhere to keep the tree connected.
+            edges.push((i, i + 1));
+        }
+    }
+    TreeDecomposition { bags, edges, width }
+}
+
+/// Exact treewidth plus a witnessing valid tree decomposition.
+pub fn exact_decomposition(g: &Graph) -> TreeDecomposition {
+    let (tw, order) = exact_treewidth(g);
+    let td = decomposition_from_order(g, &order);
+    debug_assert_eq!(td.width, tw, "construction must match DP width");
+    debug_assert!(td.is_valid_for(g), "constructed decomposition invalid");
+    td
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use x2v_graph::enumerate::free_trees;
+    use x2v_graph::generators::{complete, cycle, grid, path, petersen, star};
+
+    #[test]
+    fn known_treewidths() {
+        assert_eq!(exact_treewidth(&path(6)).0, 1);
+        assert_eq!(exact_treewidth(&star(5)).0, 1);
+        assert_eq!(exact_treewidth(&cycle(5)).0, 2);
+        assert_eq!(exact_treewidth(&complete(4)).0, 3);
+        assert_eq!(exact_treewidth(&complete(6)).0, 5);
+        assert_eq!(exact_treewidth(&grid(3, 3)).0, 3);
+        assert_eq!(exact_treewidth(&petersen()).0, 4);
+    }
+
+    #[test]
+    fn trees_have_width_one() {
+        for t in free_trees(7) {
+            if t.order() >= 2 {
+                assert_eq!(exact_treewidth(&t).0, 1, "{t:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn decomposition_valid_on_various() {
+        for g in [path(5), cycle(6), complete(4), grid(2, 4), petersen()] {
+            let td = exact_decomposition(&g);
+            assert!(td.is_valid_for(&g), "{g:?}");
+        }
+    }
+
+    #[test]
+    fn decomposition_width_matches_dp() {
+        for g in [cycle(7), grid(3, 3), complete(5)] {
+            let (tw, order) = exact_treewidth(&g);
+            let td = decomposition_from_order(&g, &order);
+            assert_eq!(td.width, tw);
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_decomposition() {
+        let g = x2v_graph::ops::disjoint_union(&cycle(3), &path(3));
+        let td = exact_decomposition(&g);
+        assert!(td.is_valid_for(&g));
+        assert_eq!(td.width, 2);
+    }
+
+    #[test]
+    fn validity_checker_rejects_bad_decomposition() {
+        let g = cycle(4);
+        // Missing edge coverage.
+        let bad = TreeDecomposition {
+            bags: vec![vec![0, 1], vec![2, 3]],
+            edges: vec![(0, 1)],
+            width: 1,
+        };
+        assert!(!bad.is_valid_for(&g));
+        // Disconnected occurrences of vertex 0.
+        let bad2 = TreeDecomposition {
+            bags: vec![vec![0, 1], vec![1, 2], vec![2, 3, 0]],
+            edges: vec![(0, 1), (1, 2)],
+            width: 2,
+        };
+        assert!(!bad2.is_valid_for(&g));
+    }
+}

@@ -1,0 +1,113 @@
+//! Gram-matrix utilities: centering, cosine normalisation, PSD checks.
+
+use x2v_linalg::eigen::sym_eigenvalues;
+use x2v_linalg::Matrix;
+
+/// Whether a symmetric matrix is positive semidefinite up to `tol`
+/// (smallest eigenvalue ≥ −tol) — the defining property of a kernel
+/// (Section 2.4).
+pub fn is_psd(k: &Matrix, tol: f64) -> bool {
+    if !k.is_square() {
+        return false;
+    }
+    sym_eigenvalues(k)
+        .last()
+        .copied()
+        .is_none_or(|min| min >= -tol)
+}
+
+/// Cosine-normalises a Gram matrix: `K'_ij = K_ij / √(K_ii K_jj)`.
+/// Rows/columns with zero self-similarity are left at zero.
+pub fn normalize(k: &Matrix) -> Matrix {
+    let n = k.rows();
+    let mut out = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            let d = (k[(i, i)] * k[(j, j)]).sqrt();
+            if d > 0.0 {
+                out[(i, j)] = k[(i, j)] / d;
+            }
+        }
+    }
+    out
+}
+
+/// Centres a Gram matrix in feature space:
+/// `K' = (I − 1/n) K (I − 1/n)` — required before kernel PCA.
+pub fn center(k: &Matrix) -> Matrix {
+    let n = k.rows();
+    let nf = n as f64;
+    let row_means: Vec<f64> = (0..n).map(|i| k.row(i).iter().sum::<f64>() / nf).collect();
+    let total_mean: f64 = row_means.iter().sum::<f64>() / nf;
+    let mut out = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            out[(i, j)] = k[(i, j)] - row_means[i] - row_means[j] + total_mean;
+        }
+    }
+    out
+}
+
+/// Evaluates a test-against-train kernel block and centres it consistently
+/// with a centred training Gram matrix (standard kernel-PCA projection
+/// bookkeeping).
+pub fn center_block(k_train: &Matrix, k_block: &Matrix) -> Matrix {
+    let n = k_train.rows();
+    let nf = n as f64;
+    let train_row_means: Vec<f64> = (0..n)
+        .map(|i| k_train.row(i).iter().sum::<f64>() / nf)
+        .collect();
+    let total_mean: f64 = train_row_means.iter().sum::<f64>() / nf;
+    let m = k_block.rows();
+    let mut out = Matrix::zeros(m, n);
+    for q in 0..m {
+        let qmean: f64 = k_block.row(q).iter().sum::<f64>() / nf;
+        for j in 0..n {
+            out[(q, j)] = k_block[(q, j)] - qmean - train_row_means[j] + total_mean;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn psd_checks() {
+        assert!(is_psd(&Matrix::identity(3), 1e-12));
+        let nsd = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        assert!(!is_psd(&nsd, 1e-12)); // eigenvalues ±1
+        assert!(!is_psd(&Matrix::zeros(2, 3), 1e-12));
+    }
+
+    #[test]
+    fn normalize_unit_diagonal() {
+        let k = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 9.0]]);
+        let n = normalize(&k);
+        assert!((n[(0, 0)] - 1.0).abs() < 1e-12);
+        assert!((n[(1, 1)] - 1.0).abs() < 1e-12);
+        assert!((n[(0, 1)] - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn centering_zeroes_feature_mean() {
+        let k = Matrix::from_rows(&[&[2.0, 1.0, 0.5], &[1.0, 3.0, 0.2], &[0.5, 0.2, 1.0]]);
+        let c = center(&k);
+        // Row sums of a centred Gram matrix vanish.
+        for i in 0..3 {
+            let s: f64 = c.row(i).iter().sum();
+            assert!(s.abs() < 1e-9, "row {i} sum {s}");
+        }
+        // Centering is idempotent.
+        assert!(center(&c).approx_eq(&c, 1e-9));
+    }
+
+    #[test]
+    fn center_block_matches_center_on_train() {
+        let k = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let c = center(&k);
+        let cb = center_block(&k, &k);
+        assert!(cb.approx_eq(&c, 1e-9));
+    }
+}

@@ -1,0 +1,169 @@
+//! Kernel k-means clustering (Section 2.4's unsupervised kernel method).
+//!
+//! Distances to cluster centroids are computed purely from the Gram matrix:
+//! `‖φ(x) − μ_c‖² = K_xx − (2/|c|) Σ_{j∈c} K_xj + (1/|c|²) Σ_{j,j'∈c} K_jj'`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use x2v_linalg::Matrix;
+
+/// Result of kernel k-means.
+pub struct KernelKMeans {
+    /// Cluster assignment per point.
+    pub assignment: Vec<usize>,
+    /// Iterations until convergence.
+    pub iterations: usize,
+}
+
+/// Runs kernel k-means on a Gram matrix with `k` clusters.
+pub fn kernel_kmeans(gram: &Matrix, k: usize, max_iters: usize, seed: u64) -> KernelKMeans {
+    let n = gram.rows();
+    assert!(k >= 1 && k <= n, "k out of range");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut assignment: Vec<usize> = (0..n)
+        .map(|i| if i < k { i } else { rng.random_range(0..k) })
+        .collect();
+    let mut iterations = 0;
+    for it in 0..max_iters {
+        iterations = it + 1;
+        // Per-cluster members and internal sums.
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for (i, &c) in assignment.iter().enumerate() {
+            members[c].push(i);
+        }
+        let intra: Vec<f64> = members
+            .iter()
+            .map(|m| {
+                let mut s = 0.0;
+                for &a in m {
+                    for &b in m {
+                        s += gram[(a, b)];
+                    }
+                }
+                if m.is_empty() {
+                    0.0
+                } else {
+                    s / (m.len() * m.len()) as f64
+                }
+            })
+            .collect();
+        let mut changed = false;
+        let next: Vec<usize> = (0..n)
+            .map(|i| {
+                (0..k)
+                    .filter(|&c| !members[c].is_empty())
+                    .min_by(|&a, &b| {
+                        let da = dist2(gram, i, &members[a], intra[a]);
+                        let db = dist2(gram, i, &members[b], intra[b]);
+                        da.partial_cmp(&db).expect("finite distances")
+                    })
+                    .expect("at least one non-empty cluster")
+            })
+            .collect();
+        for i in 0..n {
+            if next[i] != assignment[i] {
+                changed = true;
+            }
+        }
+        assignment = next;
+        if !changed {
+            break;
+        }
+    }
+    KernelKMeans {
+        assignment,
+        iterations,
+    }
+}
+
+fn dist2(gram: &Matrix, i: usize, members: &[usize], intra: f64) -> f64 {
+    let cross: f64 = members.iter().map(|&j| gram[(i, j)]).sum();
+    gram[(i, i)] - 2.0 * cross / members.len() as f64 + intra
+}
+
+/// Clustering agreement up to label permutation (for 2–4 clusters: exact
+/// maximisation over permutations).
+pub fn clustering_accuracy(predicted: &[usize], actual: &[usize], k: usize) -> f64 {
+    assert!(k <= 4, "permutation search limited to 4 clusters");
+    let perms = permutations(k);
+    let mut best = 0usize;
+    for p in perms {
+        let hits = predicted
+            .iter()
+            .zip(actual)
+            .filter(|&(&pr, &ac)| p[pr] == ac)
+            .count();
+        best = best.max(hits);
+    }
+    best as f64 / predicted.len() as f64
+}
+
+fn permutations(k: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut items: Vec<usize> = (0..k).collect();
+    permute_rec(&mut items, 0, &mut out);
+    out
+}
+
+fn permute_rec(items: &mut Vec<usize>, at: usize, out: &mut Vec<Vec<usize>>) {
+    if at == items.len() {
+        out.push(items.clone());
+        return;
+    }
+    for i in at..items.len() {
+        items.swap(at, i);
+        permute_rec(items, at + 1, out);
+        items.swap(at, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gram_of(points: &[Vec<f64>]) -> Matrix {
+        let n = points.len();
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                m[(i, j)] = x2v_linalg::vector::dot(&points[i], &points[j]);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn separates_two_far_clusters() {
+        let pts = vec![
+            vec![0.0, 0.0],
+            vec![0.2, 0.1],
+            vec![0.1, 0.3],
+            vec![10.0, 10.0],
+            vec![10.1, 9.8],
+            vec![9.9, 10.2],
+        ];
+        let r = kernel_kmeans(&gram_of(&pts), 2, 100, 3);
+        let truth = vec![0, 0, 0, 1, 1, 1];
+        assert_eq!(clustering_accuracy(&r.assignment, &truth, 2), 1.0);
+    }
+
+    #[test]
+    fn one_cluster_trivial() {
+        let pts = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let r = kernel_kmeans(&gram_of(&pts), 1, 10, 0);
+        assert!(r.assignment.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn accuracy_handles_permuted_labels() {
+        assert_eq!(clustering_accuracy(&[1, 1, 0, 0], &[0, 0, 1, 1], 2), 1.0);
+        assert_eq!(clustering_accuracy(&[0, 1, 0, 1], &[0, 0, 1, 1], 2), 0.5);
+    }
+
+    #[test]
+    fn converges_quickly_on_trivial_data() {
+        let pts = vec![vec![0.0], vec![0.0], vec![5.0], vec![5.0]];
+        let r = kernel_kmeans(&gram_of(&pts), 2, 100, 1);
+        assert!(r.iterations < 20);
+    }
+}

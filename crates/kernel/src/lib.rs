@@ -1,0 +1,37 @@
+//! # x2v-kernel — graph kernels and kernel methods (Sections 2.4, 3.5)
+//!
+//! The kernel side of the paper:
+//!
+//! * [`wl`] — the Weisfeiler-Leman subtree kernel of Shervashidze et al.,
+//!   both the t-round form and the discounted `K_WL` (Section 3.5);
+//! * [`wl2`] — a 2-WL tuple-colour kernel (the higher-dimensional WL
+//!   kernel direction of [76]), strictly more expressive than 1-WL;
+//! * [`shortest_path`] — the shortest-path kernel;
+//! * [`random_walk`] — the direct-product random-walk kernel (the first
+//!   dedicated graph kernels, Section 2.4);
+//! * [`graphlet`] — 3-/4-node connected-subgraph count kernels;
+//! * [`hom`] — the homomorphism-vector kernel of eq. (4.1);
+//! * [`node`] — node kernels (diffusion / regularised Laplacian, the
+//!   Kondor–Lafferty line the paper mentions);
+//! * [`gram`] — Gram-matrix utilities: centering, cosine normalisation,
+//!   PSD verification;
+//! * [`svm`] — a kernel SVM (SMO) and a kernel perceptron: the downstream
+//!   classifiers the paper's empirical claims are phrased in terms of;
+//! * [`kpca`] — kernel principal component analysis;
+//! * [`kkmeans`] — kernel k-means clustering.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![allow(clippy::needless_range_loop)]
+
+pub mod gram;
+pub mod graphlet;
+pub mod hom;
+pub mod kkmeans;
+pub mod kpca;
+pub mod node;
+pub mod random_walk;
+pub mod shortest_path;
+pub mod svm;
+pub mod wl;
+pub mod wl2;

@@ -1,0 +1,378 @@
+//! Kernel support vector machines (Cortes–Vapnik, Section 2.4) trained by
+//! simplified SMO, plus a kernel perceptron baseline.
+//!
+//! Both operate purely on Gram matrices — the "implicit embedding" usage of
+//! kernels the paper describes: the feature vectors are never materialised.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use x2v_linalg::Matrix;
+
+/// A trained binary kernel SVM.
+pub struct KernelSvm {
+    /// Dual coefficients `α_i` (one per training point).
+    pub alpha: Vec<f64>,
+    /// Bias term.
+    pub bias: f64,
+    /// Training labels in `{−1, +1}`.
+    pub labels: Vec<f64>,
+}
+
+/// SVM hyperparameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SvmConfig {
+    /// Box constraint `C`.
+    pub c: f64,
+    /// KKT tolerance.
+    pub tol: f64,
+    /// Passes without change before stopping.
+    pub max_passes: usize,
+    /// Hard cap on optimisation sweeps.
+    pub max_iters: usize,
+    /// RNG seed for the second-coordinate choice.
+    pub seed: u64,
+}
+
+impl Default for SvmConfig {
+    fn default() -> Self {
+        SvmConfig {
+            c: 1.0,
+            tol: 1e-3,
+            max_passes: 8,
+            max_iters: 2000,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl KernelSvm {
+    /// Trains on a training Gram matrix and `±1` labels via simplified SMO.
+    ///
+    /// # Panics
+    /// On shape mismatch or labels outside `{−1, +1}`.
+    pub fn train(gram: &Matrix, y: &[f64], config: SvmConfig) -> Self {
+        let n = y.len();
+        assert_eq!(gram.rows(), n, "gram size mismatch");
+        assert!(gram.is_square(), "gram must be square");
+        assert!(
+            y.iter().all(|&l| l == 1.0 || l == -1.0),
+            "labels must be ±1"
+        );
+        let mut alpha = vec![0.0f64; n];
+        let mut b = 0.0f64;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let f = |alpha: &[f64], b: f64, i: usize| -> f64 {
+            let mut s = b;
+            for j in 0..n {
+                if alpha[j] != 0.0 {
+                    s += alpha[j] * y[j] * gram[(j, i)];
+                }
+            }
+            s
+        };
+        let mut passes = 0;
+        let mut iters = 0;
+        while passes < config.max_passes && iters < config.max_iters {
+            iters += 1;
+            let mut changed = 0;
+            for i in 0..n {
+                let ei = f(&alpha, b, i) - y[i];
+                let violates = (y[i] * ei < -config.tol && alpha[i] < config.c)
+                    || (y[i] * ei > config.tol && alpha[i] > 0.0);
+                if !violates {
+                    continue;
+                }
+                // Random j ≠ i.
+                let mut j = rng.random_range(0..n - 1);
+                if j >= i {
+                    j += 1;
+                }
+                let ej = f(&alpha, b, j) - y[j];
+                let (ai_old, aj_old) = (alpha[i], alpha[j]);
+                let (lo, hi) = if y[i] != y[j] {
+                    (
+                        (aj_old - ai_old).max(0.0),
+                        (config.c + aj_old - ai_old).min(config.c),
+                    )
+                } else {
+                    (
+                        (ai_old + aj_old - config.c).max(0.0),
+                        (ai_old + aj_old).min(config.c),
+                    )
+                };
+                if lo >= hi {
+                    continue;
+                }
+                let eta = 2.0 * gram[(i, j)] - gram[(i, i)] - gram[(j, j)];
+                if eta >= 0.0 {
+                    continue;
+                }
+                let mut aj = aj_old - y[j] * (ei - ej) / eta;
+                aj = aj.clamp(lo, hi);
+                if (aj - aj_old).abs() < 1e-7 {
+                    continue;
+                }
+                let ai = ai_old + y[i] * y[j] * (aj_old - aj);
+                alpha[i] = ai;
+                alpha[j] = aj;
+                let b1 = b
+                    - ei
+                    - y[i] * (ai - ai_old) * gram[(i, i)]
+                    - y[j] * (aj - aj_old) * gram[(i, j)];
+                let b2 = b
+                    - ej
+                    - y[i] * (ai - ai_old) * gram[(i, j)]
+                    - y[j] * (aj - aj_old) * gram[(j, j)];
+                b = if ai > 0.0 && ai < config.c {
+                    b1
+                } else if aj > 0.0 && aj < config.c {
+                    b2
+                } else {
+                    (b1 + b2) / 2.0
+                };
+                changed += 1;
+            }
+            if changed == 0 {
+                passes += 1;
+            } else {
+                passes = 0;
+            }
+        }
+        KernelSvm {
+            alpha,
+            bias: b,
+            labels: y.to_vec(),
+        }
+    }
+
+    /// Decision value for a query given its kernel row against the training
+    /// set (`k_query[i] = K(train_i, query)`).
+    pub fn decision(&self, k_query: &[f64]) -> f64 {
+        assert_eq!(
+            k_query.len(),
+            self.alpha.len(),
+            "kernel row length mismatch"
+        );
+        let mut s = self.bias;
+        for i in 0..self.alpha.len() {
+            if self.alpha[i] != 0.0 {
+                s += self.alpha[i] * self.labels[i] * k_query[i];
+            }
+        }
+        s
+    }
+
+    /// Predicted `±1` label.
+    pub fn predict(&self, k_query: &[f64]) -> f64 {
+        if self.decision(k_query) >= 0.0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Number of support vectors (`α_i > 0`).
+    pub fn num_support_vectors(&self) -> usize {
+        self.alpha.iter().filter(|&&a| a > 1e-9).count()
+    }
+}
+
+/// One-vs-rest multiclass wrapper.
+pub struct MulticlassSvm {
+    machines: Vec<KernelSvm>,
+    classes: Vec<usize>,
+}
+
+impl MulticlassSvm {
+    /// Trains one binary machine per distinct class.
+    pub fn train(gram: &Matrix, labels: &[usize], config: SvmConfig) -> Self {
+        let mut classes: Vec<usize> = labels.to_vec();
+        classes.sort_unstable();
+        classes.dedup();
+        let machines = classes
+            .iter()
+            .map(|&c| {
+                let y: Vec<f64> = labels
+                    .iter()
+                    .map(|&l| if l == c { 1.0 } else { -1.0 })
+                    .collect();
+                KernelSvm::train(gram, &y, config)
+            })
+            .collect();
+        MulticlassSvm { machines, classes }
+    }
+
+    /// Predicts the class with the highest decision value.
+    pub fn predict(&self, k_query: &[f64]) -> usize {
+        let best = self
+            .machines
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                a.decision(k_query)
+                    .partial_cmp(&b.decision(k_query))
+                    .expect("finite decisions")
+            })
+            .expect("at least one class");
+        self.classes[best.0]
+    }
+}
+
+/// A kernel perceptron — the simplest kernel classifier; useful baseline.
+pub struct KernelPerceptron {
+    /// Mistake counts per training point.
+    pub alpha: Vec<f64>,
+    /// Training labels in `{−1, +1}`.
+    pub labels: Vec<f64>,
+}
+
+impl KernelPerceptron {
+    /// Trains for `epochs` passes over the data.
+    pub fn train(gram: &Matrix, y: &[f64], epochs: usize) -> Self {
+        let n = y.len();
+        let mut alpha = vec![0.0f64; n];
+        for _ in 0..epochs {
+            let mut mistakes = 0;
+            for i in 0..n {
+                let mut s = 0.0;
+                for j in 0..n {
+                    if alpha[j] != 0.0 {
+                        s += alpha[j] * y[j] * gram[(j, i)];
+                    }
+                }
+                if s * y[i] <= 0.0 {
+                    alpha[i] += 1.0;
+                    mistakes += 1;
+                }
+            }
+            if mistakes == 0 {
+                break;
+            }
+        }
+        KernelPerceptron {
+            alpha,
+            labels: y.to_vec(),
+        }
+    }
+
+    /// Predicted `±1` label from a kernel row.
+    pub fn predict(&self, k_query: &[f64]) -> f64 {
+        let mut s = 0.0;
+        for i in 0..self.alpha.len() {
+            if self.alpha[i] != 0.0 {
+                s += self.alpha[i] * self.labels[i] * k_query[i];
+            }
+        }
+        if s >= 0.0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Linear kernel Gram matrix from explicit points.
+    fn gram_of(points: &[Vec<f64>]) -> Matrix {
+        let n = points.len();
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                m[(i, j)] = x2v_linalg::vector::dot(&points[i], &points[j]);
+            }
+        }
+        m
+    }
+
+    fn krow(points: &[Vec<f64>], q: &[f64]) -> Vec<f64> {
+        points
+            .iter()
+            .map(|p| x2v_linalg::vector::dot(p, q))
+            .collect()
+    }
+
+    #[test]
+    fn separable_problem_solved() {
+        let pts = vec![
+            vec![2.0, 2.0],
+            vec![2.5, 1.5],
+            vec![3.0, 2.5],
+            vec![-2.0, -2.0],
+            vec![-2.5, -1.0],
+            vec![-3.0, -2.5],
+        ];
+        let y = vec![1.0, 1.0, 1.0, -1.0, -1.0, -1.0];
+        let svm = KernelSvm::train(&gram_of(&pts), &y, SvmConfig::default());
+        for (p, &label) in pts.iter().zip(&y) {
+            assert_eq!(svm.predict(&krow(&pts, p)), label);
+        }
+        assert_eq!(svm.predict(&krow(&pts, &[5.0, 5.0])), 1.0);
+        assert_eq!(svm.predict(&krow(&pts, &[-5.0, -4.0])), -1.0);
+        assert!(svm.num_support_vectors() >= 2);
+    }
+
+    #[test]
+    fn noisy_problem_soft_margin() {
+        // One mislabelled point; soft margin should still get the rest.
+        let pts = vec![
+            vec![1.0],
+            vec![1.2],
+            vec![0.9],
+            vec![-1.0],
+            vec![-1.1],
+            vec![1.05], // labelled -1 (noise)
+        ];
+        let y = vec![1.0, 1.0, 1.0, -1.0, -1.0, -1.0];
+        let svm = KernelSvm::train(
+            &gram_of(&pts),
+            &y,
+            SvmConfig {
+                c: 0.5,
+                ..Default::default()
+            },
+        );
+        assert_eq!(svm.predict(&krow(&pts, &[2.0])), 1.0);
+        assert_eq!(svm.predict(&krow(&pts, &[-2.0])), -1.0);
+    }
+
+    #[test]
+    fn multiclass_one_vs_rest() {
+        let pts = vec![
+            vec![0.0, 5.0],
+            vec![0.3, 5.2],
+            vec![5.0, 0.0],
+            vec![5.1, 0.4],
+            vec![-5.0, -5.0],
+            vec![-5.2, -4.8],
+        ];
+        let labels = vec![0, 0, 1, 1, 2, 2];
+        let m = MulticlassSvm::train(&gram_of(&pts), &labels, SvmConfig::default());
+        assert_eq!(m.predict(&krow(&pts, &[0.1, 6.0])), 0);
+        assert_eq!(m.predict(&krow(&pts, &[6.0, 0.1])), 1);
+        assert_eq!(m.predict(&krow(&pts, &[-6.0, -6.0])), 2);
+    }
+
+    #[test]
+    fn perceptron_learns_separable() {
+        let pts = vec![
+            vec![1.0, 1.0],
+            vec![2.0, 1.5],
+            vec![-1.0, -1.0],
+            vec![-2.0, -0.5],
+        ];
+        let y = vec![1.0, 1.0, -1.0, -1.0];
+        let p = KernelPerceptron::train(&gram_of(&pts), &y, 50);
+        for (pt, &label) in pts.iter().zip(&y) {
+            assert_eq!(p.predict(&krow(&pts, pt)), label);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must be ±1")]
+    fn bad_labels_rejected() {
+        let _ = KernelSvm::train(&Matrix::identity(2), &[0.0, 1.0], SvmConfig::default());
+    }
+}

@@ -1,0 +1,69 @@
+//! Property-based tests: kernels are symmetric, Cauchy–Schwarz-consistent,
+//! and isomorphism invariant on random graphs.
+
+use proptest::prelude::*;
+use x2v_core::GraphKernel;
+use x2v_graph::ops::permute;
+use x2v_graph::Graph;
+use x2v_kernel::graphlet::GraphletKernel;
+use x2v_kernel::shortest_path::ShortestPathKernel;
+use x2v_kernel::wl::WlSubtreeKernel;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (3usize..=8, any::<u32>()).prop_map(|(n, mask)| {
+        let pairs: Vec<(usize, usize)> = (0..n)
+            .flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
+            .collect();
+        let edges: Vec<(usize, usize)> = pairs
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| mask >> (i % 31) & 1 == 1)
+            .map(|(_, &e)| e)
+            .collect();
+        Graph::from_edges_unchecked(n, &edges)
+    })
+}
+
+fn seeded_perm(n: usize, seed: u64) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut s = seed | 1;
+    for i in (1..n).rev() {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+        perm.swap(i, (s >> 33) as usize % (i + 1));
+    }
+    perm
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn wl_kernel_symmetric_and_cs(g in arb_graph(), h in arb_graph()) {
+        let k = WlSubtreeKernel::new(3);
+        let kgh = k.eval(&g, &h);
+        let khg = k.eval(&h, &g);
+        prop_assert!((kgh - khg).abs() < 1e-9);
+        let kg = k.eval(&g, &g);
+        let kh = k.eval(&h, &h);
+        prop_assert!(kgh * kgh <= kg * kh * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn kernels_isomorphism_invariant(g in arb_graph(), seed in any::<u64>()) {
+        let h = permute(&g, &seeded_perm(g.order(), seed));
+        let wl = WlSubtreeKernel::new(3);
+        prop_assert!((wl.eval(&g, &g) - wl.eval(&g, &h)).abs() < 1e-9);
+        let sp = ShortestPathKernel::new();
+        prop_assert!((sp.eval(&g, &g) - sp.eval(&g, &h)).abs() < 1e-9);
+        let gl = GraphletKernel::three();
+        prop_assert!((gl.eval(&g, &g) - gl.eval(&g, &h)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn self_kernel_nonnegative(g in arb_graph()) {
+        for k in [WlSubtreeKernel::new(2), WlSubtreeKernel::discounted(4)] {
+            prop_assert!(k.eval(&g, &g) >= 0.0);
+        }
+        prop_assert!(ShortestPathKernel::new().eval(&g, &g) >= 0.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! The Hungarian algorithm (Kuhn–Munkres) for min-cost perfect assignment.
+//!
+//! Serves two roles in the workspace: the linear-minimisation oracle inside
+//! Frank-Wolfe over the Birkhoff polytope ([`crate::birkhoff`]), and the
+//! alignment heuristic seeding the exact graph-distance search of
+//! `x2v-similarity`.
+
+use crate::Matrix;
+
+/// Solves `min_σ Σ_i cost[i, σ(i)]` over permutations σ of `0..n`.
+/// Returns `(assignment, total_cost)` where `assignment[i] = σ(i)`.
+///
+/// O(n³) shortest-augmenting-path implementation (Jonker–Volgenant style
+/// potentials).
+///
+/// # Panics
+/// If `cost` is not square.
+pub fn hungarian(cost: &Matrix) -> (Vec<usize>, f64) {
+    assert!(cost.is_square(), "assignment needs a square cost matrix");
+    let n = cost.rows();
+    if n == 0 {
+        return (Vec::new(), 0.0);
+    }
+    // Potentials and matching arrays use 1-based sentinel row/col 0.
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[j] = row matched to column j (1-based)
+    let mut way = vec![0usize; n + 1];
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![f64::INFINITY; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = f64::INFINITY;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost[(i0 - 1, j - 1)] - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the alternating path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+    let mut assignment = vec![0usize; n];
+    for j in 1..=n {
+        if p[j] > 0 {
+            assignment[p[j] - 1] = j - 1;
+        }
+    }
+    let total: f64 = (0..n).map(|i| cost[(i, assignment[i])]).sum();
+    (assignment, total)
+}
+
+/// Permutation matrix of an assignment (`P[i, σ(i)] = 1`).
+pub fn permutation_matrix(assignment: &[usize]) -> Matrix {
+    let n = assignment.len();
+    let mut p = Matrix::zeros(n, n);
+    for (i, &j) in assignment.iter().enumerate() {
+        p[(i, j)] = 1.0;
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_force(cost: &Matrix) -> f64 {
+        fn go(cost: &Matrix, row: usize, used: &mut [bool], acc: f64, best: &mut f64) {
+            let n = cost.rows();
+            if row == n {
+                *best = best.min(acc);
+                return;
+            }
+            for j in 0..n {
+                if !used[j] {
+                    used[j] = true;
+                    go(cost, row + 1, used, acc + cost[(row, j)], best);
+                    used[j] = false;
+                }
+            }
+        }
+        let mut best = f64::INFINITY;
+        go(cost, 0, &mut vec![false; cost.rows()], 0.0, &mut best);
+        best
+    }
+
+    #[test]
+    fn known_3x3() {
+        let c = Matrix::from_rows(&[&[4.0, 1.0, 3.0], &[2.0, 0.0, 5.0], &[3.0, 2.0, 2.0]]);
+        let (a, total) = hungarian(&c);
+        assert_eq!(total, 5.0);
+        assert_eq!(a, vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn identity_is_optimal_for_diagonal_reward() {
+        let c = Matrix::from_rows(&[&[0.0, 9.0], &[9.0, 0.0]]);
+        let (a, total) = hungarian(&c);
+        assert_eq!(a, vec![0, 1]);
+        assert_eq!(total, 0.0);
+    }
+
+    #[test]
+    fn matches_brute_force_on_pseudorandom() {
+        // Deterministic pseudo-random costs.
+        for seed in 0u64..6 {
+            let n = 5;
+            let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+            let mut next = || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 1000) as f64 / 100.0
+            };
+            let mut c = Matrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    c[(i, j)] = next();
+                }
+            }
+            let (a, total) = hungarian(&c);
+            let bf = brute_force(&c);
+            assert!((total - bf).abs() < 1e-9, "seed {seed}: {total} vs {bf}");
+            // assignment must be a permutation
+            let mut seen = vec![false; n];
+            for &j in &a {
+                assert!(!seen[j]);
+                seen[j] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn negative_costs_ok() {
+        let c = Matrix::from_rows(&[&[-5.0, 0.0], &[0.0, -5.0]]);
+        let (_, total) = hungarian(&c);
+        assert_eq!(total, -10.0);
+    }
+
+    #[test]
+    fn permutation_matrix_shape() {
+        let p = permutation_matrix(&[2, 0, 1]);
+        assert_eq!(p[(0, 2)], 1.0);
+        assert_eq!(p[(1, 0)], 1.0);
+        assert_eq!(p[(2, 1)], 1.0);
+        assert_eq!(p.as_slice().iter().sum::<f64>(), 3.0);
+    }
+}

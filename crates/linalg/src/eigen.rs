@@ -1,0 +1,169 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! Spectra drive Theorem 4.3 (cycle homomorphism counts ⟺ co-spectrality),
+//! the spectral node embeddings of Section 2.1, Laplacian eigenmaps, and
+//! classical MDS. The Jacobi method is O(n³) per sweep with excellent
+//! accuracy on the small dense matrices this workspace handles.
+
+use crate::Matrix;
+
+/// Result of a symmetric eigendecomposition `A = V Λ Vᵀ`.
+pub struct SymEigen {
+    /// Eigenvalues, sorted descending.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors; column `j` of the matrix corresponds to
+    /// `values[j]`.
+    pub vectors: Matrix,
+}
+
+/// Eigendecomposition of a symmetric matrix (symmetry is *assumed*; only the
+/// lower triangle influence mirrors the upper in exact arithmetic).
+///
+/// # Panics
+/// If `a` is not square.
+pub fn sym_eigen(a: &Matrix) -> SymEigen {
+    assert!(a.is_square(), "eigendecomposition of non-square matrix");
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+    let max_sweeps = 100;
+    for _ in 0..max_sweeps {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off.sqrt() < 1e-12 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() < 1e-15 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                // Numerically stable tangent of the rotation angle.
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Apply the rotation to rows/columns p and q.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    // Extract and sort by descending eigenvalue.
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    order.sort_by(|&i, &j| diag[j].partial_cmp(&diag[i]).expect("finite eigenvalues"));
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_j, &old_j) in order.iter().enumerate() {
+        for i in 0..n {
+            vectors[(i, new_j)] = v[(i, old_j)];
+        }
+    }
+    SymEigen { values, vectors }
+}
+
+/// Eigenvalues only, sorted descending.
+pub fn sym_eigenvalues(a: &Matrix) -> Vec<f64> {
+    sym_eigen(a).values
+}
+
+/// Whether two symmetric matrices are co-spectral within tolerance
+/// (same sorted eigenvalues — Theorem 4.3's right-hand side).
+pub fn cospectral(a: &Matrix, b: &Matrix, tol: f64) -> bool {
+    if a.rows() != b.rows() {
+        return false;
+    }
+    let ea = sym_eigenvalues(a);
+    let eb = sym_eigenvalues(b);
+    ea.iter().zip(&eb).all(|(x, y)| (x - y).abs() <= tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_eigen() {
+        let e = sym_eigen(&Matrix::diag(&[3.0, 1.0, 2.0]));
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 2.0).abs() < 1e-10);
+        assert!((e.values[2] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3, 1.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = sym_eigen(&a);
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_and_orthogonality() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0, -2.0], &[1.0, 2.0, 0.0], &[-2.0, 0.0, 3.0]]);
+        let e = sym_eigen(&a);
+        let lam = Matrix::diag(&e.values);
+        let recon = e.vectors.matmul(&lam).matmul(&e.vectors.transpose());
+        assert!(recon.approx_eq(&a, 1e-9));
+        let vtv = e.vectors.transpose().matmul(&e.vectors);
+        assert!(vtv.approx_eq(&Matrix::identity(3), 1e-9));
+    }
+
+    #[test]
+    fn path_graph_spectrum() {
+        // P3 adjacency: eigenvalues ±√2, 0.
+        let a = Matrix::from_rows(&[&[0.0, 1.0, 0.0], &[1.0, 0.0, 1.0], &[0.0, 1.0, 0.0]]);
+        let v = sym_eigenvalues(&a);
+        assert!((v[0] - 2f64.sqrt()).abs() < 1e-10);
+        assert!(v[1].abs() < 1e-10);
+        assert!((v[2] + 2f64.sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn cospectral_star_vs_c4_plus_isolated() {
+        // The classic K(1,4) vs C4 ∪ K1 pair (paper's Figure 6 shape):
+        // both have spectrum {±2, 0, 0, 0}.
+        let star = Matrix::from_rows(&[
+            &[0.0, 1.0, 1.0, 1.0, 1.0],
+            &[1.0, 0.0, 0.0, 0.0, 0.0],
+            &[1.0, 0.0, 0.0, 0.0, 0.0],
+            &[1.0, 0.0, 0.0, 0.0, 0.0],
+            &[1.0, 0.0, 0.0, 0.0, 0.0],
+        ]);
+        let c4k1 = Matrix::from_rows(&[
+            &[0.0, 1.0, 0.0, 1.0, 0.0],
+            &[1.0, 0.0, 1.0, 0.0, 0.0],
+            &[0.0, 1.0, 0.0, 1.0, 0.0],
+            &[1.0, 0.0, 1.0, 0.0, 0.0],
+            &[0.0, 0.0, 0.0, 0.0, 0.0],
+        ]);
+        assert!(cospectral(&star, &c4k1, 1e-9));
+        let p2 = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        assert!(!cospectral(&star, &p2, 1e-9));
+    }
+}

@@ -1,0 +1,240 @@
+//! Matrix norms (Section 5.1): entrywise `ℓ_p`, Frobenius, operator norms
+//! `‖·‖_⟨p⟩` for `p ∈ {1, 2, ∞}`, and the cut norm `‖·‖_□` (exact for small
+//! matrices, local-search approximation in general).
+//!
+//! All of these are invariant under row/column permutations (property (5.1)
+//! in the paper), which the tests check — the graph distance measures of
+//! `x2v-similarity` depend on it.
+
+use crate::eigen::sym_eigenvalues;
+use crate::Matrix;
+
+/// Entrywise `ℓ_p` norm `‖M‖_p = (Σ |M_ij|^p)^{1/p}` (so `p = 2` is
+/// Frobenius, `p = 1` the entry sum).
+pub fn entrywise_p(m: &Matrix, p: f64) -> f64 {
+    assert!(p >= 1.0, "p must be >= 1");
+    m.as_slice()
+        .iter()
+        .map(|x| x.abs().powf(p))
+        .sum::<f64>()
+        .powf(1.0 / p)
+}
+
+/// Frobenius norm `‖M‖_F`.
+pub fn frobenius(m: &Matrix) -> f64 {
+    m.as_slice().iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Operator 1-norm `‖M‖_⟨1⟩ = max_j Σ_i |M_ij|` (max column sum).
+pub fn operator_1(m: &Matrix) -> f64 {
+    (0..m.cols())
+        .map(|j| (0..m.rows()).map(|i| m[(i, j)].abs()).sum::<f64>())
+        .fold(0.0, f64::max)
+}
+
+/// Operator ∞-norm `max_i Σ_j |M_ij|` (max row sum).
+pub fn operator_inf(m: &Matrix) -> f64 {
+    (0..m.rows())
+        .map(|i| m.row(i).iter().map(|x| x.abs()).sum::<f64>())
+        .fold(0.0, f64::max)
+}
+
+/// Spectral norm `‖M‖_⟨2⟩` = largest singular value (via the top eigenvalue
+/// of `MᵀM`).
+pub fn spectral(m: &Matrix) -> f64 {
+    let mtm = m.transpose().matmul(m);
+    sym_eigenvalues(&mtm)
+        .first()
+        .copied()
+        .unwrap_or(0.0)
+        .max(0.0)
+        .sqrt()
+}
+
+/// Exact cut norm `‖M‖_□ = max_{S,T} |Σ_{i∈S, j∈T} M_ij|` by enumerating all
+/// row subsets (the optimal `T` for fixed `S` is read off greedily).
+///
+/// # Panics
+/// If the matrix has more than 24 rows (2^rows subsets are enumerated).
+pub fn cut_norm_exact(m: &Matrix) -> f64 {
+    let r = m.rows();
+    assert!(r <= 24, "exact cut norm limited to 24 rows");
+    let mut best = 0.0f64;
+    for mask in 0u64..(1u64 << r) {
+        // Column sums over the selected rows.
+        let mut colsum = vec![0.0f64; m.cols()];
+        for i in 0..r {
+            if mask >> i & 1 == 1 {
+                for (c, &v) in colsum.iter_mut().zip(m.row(i)) {
+                    *c += v;
+                }
+            }
+        }
+        // For fixed S, |Σ_{T}| is maximised by taking all positive columns
+        // (or all negative ones).
+        let pos: f64 = colsum.iter().filter(|&&c| c > 0.0).sum();
+        let neg: f64 = colsum.iter().filter(|&&c| c < 0.0).sum();
+        best = best.max(pos).max(-neg);
+    }
+    best
+}
+
+/// Local-search lower bound on the cut norm: alternate optimising `S` for
+/// fixed `T` and `T` for fixed `S` from several deterministic starts.
+/// Always `≤ ‖M‖_□`; typically within the Alon–Naor factor in practice.
+pub fn cut_norm_local_search(m: &Matrix) -> f64 {
+    let (r, c) = (m.rows(), m.cols());
+    let mut best = 0.0f64;
+    // Deterministic starts: each single row, plus all rows.
+    let mut starts: Vec<Vec<bool>> = (0..r.min(16))
+        .map(|i| (0..r).map(|x| x == i).collect())
+        .collect();
+    starts.push(vec![true; r]);
+    for mut s in starts {
+        let mut t = vec![true; c];
+        for sign in [1.0f64, -1.0] {
+            loop {
+                // Optimise T for fixed S.
+                let mut colsum = vec![0.0f64; c];
+                for i in 0..r {
+                    if s[i] {
+                        for (cs, &v) in colsum.iter_mut().zip(m.row(i)) {
+                            *cs += v;
+                        }
+                    }
+                }
+                for j in 0..c {
+                    t[j] = sign * colsum[j] > 0.0;
+                }
+                // Optimise S for fixed T.
+                let mut improved = false;
+                for i in 0..r {
+                    let rowsum: f64 = m
+                        .row(i)
+                        .iter()
+                        .zip(&t)
+                        .filter(|&(_, &tj)| tj)
+                        .map(|(&v, _)| v)
+                        .sum();
+                    let want = sign * rowsum > 0.0;
+                    if s[i] != want {
+                        s[i] = want;
+                        improved = true;
+                    }
+                }
+                if !improved {
+                    break;
+                }
+            }
+            let val: f64 = (0..r)
+                .filter(|&i| s[i])
+                .map(|i| {
+                    m.row(i)
+                        .iter()
+                        .zip(&t)
+                        .filter(|&(_, &tj)| tj)
+                        .map(|(&v, _)| v)
+                        .sum::<f64>()
+                })
+                .sum();
+            best = best.max(val.abs());
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> Matrix {
+        Matrix::from_rows(&[&[1.0, -2.0], &[3.0, 4.0]])
+    }
+
+    #[test]
+    fn entrywise_norms() {
+        let m = example();
+        assert!((entrywise_p(&m, 1.0) - 10.0).abs() < 1e-12);
+        assert!((frobenius(&m) - 30f64.sqrt()).abs() < 1e-12);
+        assert!((entrywise_p(&m, 2.0) - frobenius(&m)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn operator_norms_known() {
+        let m = example();
+        assert_eq!(operator_1(&m), 6.0); // columns sums 4, 6
+        assert_eq!(operator_inf(&m), 7.0); // row sums 3, 7
+                                           // Spectral norm of diag(-5, 3) is 5.
+        assert!((spectral(&Matrix::diag(&[-5.0, 3.0])) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spectral_bounded_by_frobenius() {
+        let m = example();
+        assert!(spectral(&m) <= frobenius(&m) + 1e-9);
+    }
+
+    #[test]
+    fn cut_norm_all_positive_is_total_sum() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(cut_norm_exact(&m), 10.0);
+    }
+
+    #[test]
+    fn cut_norm_mixed_signs() {
+        let m = Matrix::from_rows(&[&[1.0, -1.0], &[-1.0, 1.0]]);
+        // Best: S={0}, T={0} (or symmetric choices) → 1... but S={0,1},T={0,1} sums to 0;
+        // S={0}, T={0} gives 1; the exact optimum is 1.
+        assert_eq!(cut_norm_exact(&m), 1.0);
+        assert!(cut_norm_local_search(&m) <= 1.0 + 1e-12);
+        assert!(cut_norm_local_search(&m) >= 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn local_search_is_lower_bound() {
+        let m = Matrix::from_rows(&[
+            &[0.3, -1.2, 0.7, 2.0],
+            &[-0.5, 0.9, -1.1, 0.2],
+            &[1.5, -0.4, 0.0, -2.2],
+        ]);
+        let exact = cut_norm_exact(&m);
+        let approx = cut_norm_local_search(&m);
+        assert!(approx <= exact + 1e-9);
+        assert!(
+            approx >= exact / 2.0 - 1e-9,
+            "should be a decent bound here"
+        );
+    }
+
+    #[test]
+    fn permutation_invariance() {
+        // ‖M‖ = ‖MP‖ = ‖QM‖ (property 5.1) for all norms here.
+        let m = Matrix::from_rows(&[&[1.0, -2.0, 0.5], &[3.0, 4.0, -1.0], &[0.0, 2.0, 2.5]]);
+        // Swap rows 0,2 and columns 0,1.
+        let mut p = m.clone();
+        for j in 0..3 {
+            let t = p[(0, j)];
+            p[(0, j)] = p[(2, j)];
+            p[(2, j)] = t;
+        }
+        for i in 0..3 {
+            let t = p[(i, 0)];
+            p[(i, 0)] = p[(i, 1)];
+            p[(i, 1)] = t;
+        }
+        type NamedNorm = (fn(&Matrix) -> f64, &'static str);
+        let norms: [NamedNorm; 5] = [
+            (frobenius, "frobenius"),
+            (operator_1, "op1"),
+            (operator_inf, "opinf"),
+            (spectral, "spectral"),
+            (cut_norm_exact, "cut"),
+        ];
+        for (f, g) in norms {
+            assert!(
+                (f(&m) - f(&p)).abs() < 1e-9,
+                "{g} not permutation invariant"
+            );
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Walker alias tables for O(1) sampling from discrete distributions.
+//!
+//! node2vec's biased second-order random walks and word2vec's unigram^{3/4}
+//! negative sampling both draw millions of samples from fixed categorical
+//! distributions; the alias method makes each draw two random numbers and
+//! one comparison.
+
+use rand::Rng;
+
+/// A Walker alias table over `0..n`.
+#[derive(Clone, Debug)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Builds a table from non-negative weights (not necessarily
+    /// normalised).
+    ///
+    /// # Panics
+    /// If `weights` is empty, contains a negative value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "empty distribution");
+        assert!(
+            weights.iter().all(|&w| w >= 0.0),
+            "negative weight in distribution"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "distribution sums to zero");
+        let n = weights.len();
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * n as f64 / total).collect();
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = Vec::with_capacity(n);
+        let mut large: Vec<usize> = Vec::with_capacity(n);
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            large.pop();
+            alias[s] = l;
+            prob[l] = (prob[l] + prob[s]) - 1.0;
+            if prob[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Leftovers are numerically 1.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i] = 1.0;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one sample.
+    #[inline]
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let i = rng.random_range(0..self.prob.len());
+        if rng.random::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empirical_frequencies_match() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let table = AliasTable::new(&weights);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [0usize; 4];
+        let draws = 200_000;
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let expected = w / total;
+            let observed = counts[i] as f64 / draws as f64;
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "outcome {i}: observed {observed}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_distribution() {
+        let table = AliasTable::new(&[0.0, 1.0, 0.0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(table.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn single_outcome() {
+        let table = AliasTable::new(&[5.0]);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(table.sample(&mut rng), 0);
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sums to zero")]
+    fn zero_distribution_panics() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative weight")]
+    fn negative_weight_panics() {
+        let _ = AliasTable::new(&[1.0, -1.0]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Formula-battery equivalence checks (Theorem 3.1, Corollary 4.15).
+
+use crate::formula::Formula;
+use crate::generator::{FormulaGenerator, GeneratorConfig};
+use x2v_graph::Graph;
+
+/// Whether `g` and `h` agree on every sentence in the battery.
+pub fn graphs_agree_on(battery: &[Formula], g: &Graph, h: &Graph) -> bool {
+    battery
+        .iter()
+        .all(|f| f.eval_sentence(g) == f.eval_sentence(h))
+}
+
+/// Finds a sentence in the battery separating `g` from `h`, if any.
+pub fn separating_sentence<'a>(
+    battery: &'a [Formula],
+    g: &Graph,
+    h: &Graph,
+) -> Option<&'a Formula> {
+    battery
+        .iter()
+        .find(|f| f.eval_sentence(g) != f.eval_sentence(h))
+}
+
+/// Whether nodes `v ∈ g` and `w ∈ h` agree on every single-free-variable
+/// formula in the battery (Corollary 4.15's condition, sampled).
+pub fn nodes_agree_on(battery: &[Formula], g: &Graph, v: usize, h: &Graph, w: usize) -> bool {
+    battery.iter().all(|f| f.eval_at(g, v) == f.eval_at(h, w))
+}
+
+/// A standard battery of `C^k` sentences of quantifier rank ≤ `rank`.
+pub fn standard_battery(k: usize, rank: usize, size: usize, seed: u64) -> Vec<Formula> {
+    let cfg = GeneratorConfig {
+        num_variables: k,
+        max_rank: rank,
+        max_count: 4,
+        labels: vec![],
+    };
+    FormulaGenerator::new(cfg, seed).sentences(size)
+}
+
+/// A standard battery of node formulas in `C^k`.
+pub fn standard_node_battery(k: usize, rank: usize, size: usize, seed: u64) -> Vec<Formula> {
+    let cfg = GeneratorConfig {
+        num_variables: k,
+        max_rank: rank,
+        max_count: 4,
+        labels: vec![],
+    };
+    FormulaGenerator::new(cfg, seed).node_formulas(size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use x2v_graph::generators::{circulant, cycle, path, star};
+    use x2v_graph::ops::{disjoint_union, permute};
+    use x2v_wl::Refiner;
+
+    #[test]
+    fn theorem_3_1_easy_direction_c2() {
+        // 1-WL-equivalent graphs agree on every C² sentence.
+        let battery = standard_battery(2, 3, 300, 11);
+        let pairs = [
+            (cycle(6), disjoint_union(&cycle(3), &cycle(3))),
+            (circulant(8, &[1, 2]), circulant(8, &[1, 3])),
+        ];
+        for (g, h) in &pairs {
+            assert!(!Refiner::new().distinguishes(g, h), "precondition");
+            assert!(graphs_agree_on(&battery, g, h), "Thm 3.1 violated");
+        }
+    }
+
+    #[test]
+    fn separating_sentences_found_for_wl_distinct_pairs() {
+        let battery = standard_battery(2, 3, 300, 13);
+        let pairs = [
+            (path(4), star(3)),
+            (cycle(4), path(4)),
+            (cycle(8), circulant(8, &[1, 2])),
+        ];
+        for (g, h) in &pairs {
+            assert!(Refiner::new().distinguishes(g, h), "precondition");
+            assert!(
+                separating_sentence(&battery, g, h).is_some(),
+                "battery failed to separate {g:?} from {h:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn corollary_4_15_node_level() {
+        let battery = standard_node_battery(2, 3, 300, 17);
+        // WL-equivalent nodes agree.
+        let c6 = cycle(6);
+        let tt = disjoint_union(&cycle(3), &cycle(3));
+        assert!(nodes_agree_on(&battery, &c6, 0, &tt, 3));
+        // WL-distinct nodes are separated.
+        let p = path(4);
+        assert!(!nodes_agree_on(&battery, &p, 0, &p, 1));
+    }
+
+    #[test]
+    fn isomorphic_graphs_agree_on_everything() {
+        let battery = standard_battery(3, 3, 150, 19);
+        let g = x2v_graph::generators::petersen();
+        let h = permute(&g, &[9, 7, 5, 3, 1, 8, 6, 4, 2, 0]);
+        assert!(graphs_agree_on(&battery, &g, &h));
+    }
+}

@@ -1,0 +1,24 @@
+//! # x2v-logic — first-order logic with counting and its fragments
+//!
+//! The logic `C` of Section 3.4: first-order logic with counting
+//! quantifiers `∃^{≥p} x φ`, over the vocabulary of labelled graphs
+//! (`E(x,y)`, `x = y`, label predicates). Provides:
+//!
+//! * [`formula`] — AST, evaluator, number-of-variables and quantifier-rank
+//!   metrics (the parameters of the fragments `C^k` and `C_k`);
+//! * [`generator`] — seeded random formula generation inside a prescribed
+//!   fragment, used to test Theorem 3.1 (`C^{k+1}` ⟺ k-WL) and
+//!   Corollary 4.15 (node-level `C²`) empirically;
+//! * [`equivalence`] — formula-battery equivalence checks for graphs and
+//!   nodes;
+//! * [`treedepth`] — exact tree-depth (the parameter of Theorem 4.10).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod equivalence;
+pub mod formula;
+pub mod generator;
+pub mod treedepth;
+
+pub use formula::{Formula, Var};

@@ -1,0 +1,67 @@
+//! Property-based tests: formula evaluation is isomorphism-invariant and
+//! fragment metrics behave.
+
+use proptest::prelude::*;
+use x2v_graph::ops::permute;
+use x2v_graph::Graph;
+use x2v_logic::generator::{FormulaGenerator, GeneratorConfig};
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (3usize..=6, any::<u32>()).prop_map(|(n, mask)| {
+        let pairs: Vec<(usize, usize)> = (0..n)
+            .flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
+            .collect();
+        let edges: Vec<(usize, usize)> = pairs
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| mask >> (i % 31) & 1 == 1)
+            .map(|(_, &e)| e)
+            .collect();
+        Graph::from_edges_unchecked(n, &edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sentences_are_isomorphism_invariant(g in arb_graph(), fseed in any::<u64>(), pseed in any::<u64>()) {
+        let mut perm: Vec<usize> = (0..g.order()).collect();
+        let mut s = pseed | 1;
+        for i in (1..perm.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            perm.swap(i, (s >> 33) as usize % (i + 1));
+        }
+        let h = permute(&g, &perm);
+        let cfg = GeneratorConfig { num_variables: 2, max_rank: 3, max_count: 3, labels: vec![] };
+        let mut gen = FormulaGenerator::new(cfg, fseed);
+        for f in gen.sentences(25) {
+            prop_assert_eq!(f.eval_sentence(&g), f.eval_sentence(&h), "{:?}", f);
+        }
+    }
+
+    #[test]
+    fn node_formulas_respect_the_permutation(g in arb_graph(), fseed in any::<u64>()) {
+        // φ(v) on G ⟺ φ(perm(v)) on permuted G.
+        let n = g.order();
+        let perm: Vec<usize> = (0..n).rev().collect();
+        let h = permute(&g, &perm);
+        let cfg = GeneratorConfig { num_variables: 2, max_rank: 2, max_count: 3, labels: vec![] };
+        let mut gen = FormulaGenerator::new(cfg, fseed);
+        for f in gen.node_formulas(15) {
+            for (v, &pv) in perm.iter().enumerate() {
+                prop_assert_eq!(f.eval_at(&g, v), f.eval_at(&h, pv));
+            }
+        }
+    }
+
+    #[test]
+    fn double_negation_is_identity(g in arb_graph(), fseed in any::<u64>()) {
+        let cfg = GeneratorConfig::default();
+        let mut gen = FormulaGenerator::new(cfg, fseed);
+        for f in gen.sentences(20) {
+            let neg2 = f.clone().not().not();
+            prop_assert_eq!(f.eval_sentence(&g), neg2.eval_sentence(&g));
+        }
+    }
+}

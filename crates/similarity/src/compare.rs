@@ -1,0 +1,137 @@
+//! Section 5.2 machinery: do homomorphism-embedding distances track
+//! matrix-norm distances? The paper poses this as an open direction; this
+//! module provides the empirical comparison used by the `exp_similarity`
+//! experiment.
+
+use crate::matrix_dist::{dist_exact, GraphNorm};
+use crate::relaxed::relaxed_distance;
+use x2v_graph::Graph;
+use x2v_hom::vectors::HomBasis;
+use x2v_linalg::vector::euclidean;
+
+/// All pairwise values of a symmetric graph-distance function over a family
+/// (upper triangle, row-major order).
+pub fn pairwise<F: FnMut(&Graph, &Graph) -> f64>(graphs: &[Graph], mut d: F) -> Vec<f64> {
+    let mut out = Vec::new();
+    for i in 0..graphs.len() {
+        for j in (i + 1)..graphs.len() {
+            out.push(d(&graphs[i], &graphs[j]));
+        }
+    }
+    out
+}
+
+/// Pearson correlation coefficient.
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "length mismatch");
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let cov: f64 = x.iter().zip(y).map(|(a, b)| (a - mx) * (b - my)).sum();
+    let vx: f64 = x.iter().map(|a| (a - mx) * (a - mx)).sum();
+    let vy: f64 = y.iter().map(|b| (b - my) * (b - my)).sum();
+    if vx == 0.0 || vy == 0.0 {
+        0.0
+    } else {
+        cov / (vx * vy).sqrt()
+    }
+}
+
+/// Spearman rank correlation.
+pub fn spearman(x: &[f64], y: &[f64]) -> f64 {
+    pearson(&ranks(x), &ranks(y))
+}
+
+fn ranks(x: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..x.len()).collect();
+    idx.sort_by(|&a, &b| x[a].partial_cmp(&x[b]).expect("finite values"));
+    let mut r = vec![0.0; x.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        // average ranks over ties
+        let mut j = i;
+        while j + 1 < idx.len() && x[idx[j + 1]] == x[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0;
+        for &k in &idx[i..=j] {
+            r[k] = avg;
+        }
+        i = j + 1;
+    }
+    r
+}
+
+/// The comparison report of one family: correlations between the
+/// hom-embedding distance and several matrix distances.
+pub struct ComparisonReport {
+    /// Pearson correlation with the exact Frobenius distance.
+    pub pearson_frobenius: f64,
+    /// Spearman correlation with the exact Frobenius distance.
+    pub spearman_frobenius: f64,
+    /// Pearson correlation with the relaxed (Frank-Wolfe) distance.
+    pub pearson_relaxed: f64,
+    /// Pearson correlation with the edit distance.
+    pub pearson_edit: f64,
+}
+
+/// Runs the Section 5.2 comparison over an equal-order family.
+pub fn compare_hom_vs_matrix(graphs: &[Graph], basis: &HomBasis) -> ComparisonReport {
+    let embeds: Vec<Vec<f64>> = graphs.iter().map(|g| basis.embed_log(g)).collect();
+    let mut hom_d = Vec::new();
+    for i in 0..graphs.len() {
+        for j in (i + 1)..graphs.len() {
+            hom_d.push(euclidean(&embeds[i], &embeds[j]));
+        }
+    }
+    let frob = pairwise(graphs, |g, h| dist_exact(g, h, GraphNorm::Entrywise(2.0)));
+    let edit = pairwise(graphs, |g, h| dist_exact(g, h, GraphNorm::Entrywise(1.0)));
+    let relax = pairwise(graphs, relaxed_distance_wrapper);
+    ComparisonReport {
+        pearson_frobenius: pearson(&hom_d, &frob),
+        spearman_frobenius: spearman(&hom_d, &frob),
+        pearson_relaxed: pearson(&hom_d, &relax),
+        pearson_edit: pearson(&hom_d, &edit),
+    }
+}
+
+fn relaxed_distance_wrapper(g: &Graph, h: &Graph) -> f64 {
+    relaxed_distance(g, h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correlation_basics() {
+        assert!((pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]) - 1.0).abs() < 1e-12);
+        assert!((pearson(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+        assert!((spearman(&[1.0, 5.0, 100.0], &[1.0, 2.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranks_average_ties() {
+        assert_eq!(ranks(&[1.0, 1.0, 2.0]), vec![0.5, 0.5, 2.0]);
+    }
+
+    #[test]
+    fn hom_distance_positively_correlates_on_structured_family() {
+        // Family of 7-node graphs spanning trees, cycles and dense graphs.
+        let graphs = vec![
+            x2v_graph::generators::path(7),
+            x2v_graph::generators::cycle(7),
+            x2v_graph::generators::star(6),
+            x2v_graph::generators::complete(7),
+            x2v_graph::generators::circulant(7, &[1, 2]),
+        ];
+        let basis = HomBasis::trees_and_cycles(10);
+        let report = compare_hom_vs_matrix(&graphs, &basis);
+        assert!(
+            report.spearman_frobenius > 0.3,
+            "expected positive rank correlation, got {}",
+            report.spearman_frobenius
+        );
+    }
+}

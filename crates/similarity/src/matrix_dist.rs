@@ -1,0 +1,236 @@
+//! Exact matrix-norm graph distances (Section 5.1).
+//!
+//! `dist_‖·‖(G, H) = min_P ‖AP − PB‖` over permutation matrices `P`
+//! (equivalently `‖PᵀAP − B‖`). NP-hard in general; we compute it exactly
+//! for small graphs: branch-and-bound with incremental lower bounds for the
+//! entrywise `ℓ_p` norms, full enumeration for operator norms.
+
+use x2v_graph::Graph;
+use x2v_linalg::norms;
+use x2v_linalg::Matrix;
+
+/// The matrix norms the distance can be taken over.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum GraphNorm {
+    /// Entrywise `ℓ_p` (`p = 2` is Frobenius, `p = 1` twice the edit
+    /// distance).
+    Entrywise(f64),
+    /// Operator 1-norm (max column sum) — the per-node edit distance (5.4).
+    Operator1,
+    /// Operator ∞-norm (max row sum).
+    OperatorInf,
+    /// Spectral norm.
+    Spectral,
+    /// Cut norm.
+    Cut,
+}
+
+/// Exact `dist_‖·‖(G, H)` for graphs of equal order.
+///
+/// # Panics
+/// If orders differ (use [`crate::blowup`] first) or order exceeds 10.
+pub fn dist_exact(g: &Graph, h: &Graph, norm: GraphNorm) -> f64 {
+    assert_eq!(g.order(), h.order(), "blow up to equal orders first");
+    let n = g.order();
+    assert!(n <= 10, "exact distance limited to order 10");
+    match norm {
+        GraphNorm::Entrywise(p) => entrywise_bnb(g, h, p),
+        _ => enumerate_all(g, h, norm),
+    }
+}
+
+/// Edit distance: the minimum number of edge flips turning `G` into a graph
+/// isomorphic to `H` — equals `dist_1 / 2` (eq. 5.3).
+pub fn edit_distance(g: &Graph, h: &Graph) -> f64 {
+    dist_exact(g, h, GraphNorm::Entrywise(1.0)) / 2.0
+}
+
+/// Branch-and-bound over assignments `perm[i of G] = node of H`, pruning on
+/// the partial `Σ |a − b|^p` over fully-assigned pairs.
+fn entrywise_bnb(g: &Graph, h: &Graph, p: f64) -> f64 {
+    let n = g.order();
+    let a = g.adjacency_flat();
+    let b = h.adjacency_flat();
+    let mut perm = vec![usize::MAX; n];
+    let mut used = vec![false; n];
+    let mut best = f64::INFINITY;
+    #[allow(clippy::too_many_arguments)] // recursion state is clearer spelled out
+    fn rec(
+        depth: usize,
+        n: usize,
+        a: &[f64],
+        b: &[f64],
+        p: f64,
+        perm: &mut [usize],
+        used: &mut [bool],
+        partial: f64,
+        best: &mut f64,
+    ) {
+        if partial >= *best {
+            return;
+        }
+        if depth == n {
+            *best = partial;
+            return;
+        }
+        for cand in 0..n {
+            if used[cand] {
+                continue;
+            }
+            // Added cost: pairs (depth, j) for j <= depth (both assigned).
+            let mut add = 0.0;
+            for j in 0..=depth {
+                let pj = if j == depth { cand } else { perm[j] };
+                let av = a[depth * n + j];
+                let bv = b[cand * n + pj];
+                if av != bv {
+                    // Symmetric matrix: the pair (j, depth) contributes too,
+                    // except on the diagonal.
+                    let d = (av - bv).abs().powf(p);
+                    add += if j == depth { d } else { 2.0 * d };
+                }
+            }
+            perm[depth] = cand;
+            used[cand] = true;
+            rec(depth + 1, n, a, b, p, perm, used, partial + add, best);
+            used[cand] = false;
+            perm[depth] = usize::MAX;
+        }
+    }
+    rec(0, n, &a, &b, p, &mut perm, &mut used, 0.0, &mut best);
+    best.powf(1.0 / p)
+}
+
+fn enumerate_all(g: &Graph, h: &Graph, norm: GraphNorm) -> f64 {
+    let n = g.order();
+    let a = Matrix::from_flat(n, n, g.adjacency_flat());
+    let b = Matrix::from_flat(n, n, h.adjacency_flat());
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut best = f64::INFINITY;
+    permute_rec(&mut perm, 0, &mut |perm| {
+        // M = PᵀAP − B where node i of G goes to perm[i] of H:
+        // (PᵀAP)[perm[i], perm[j]] = A[i, j].
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                m[(perm[i], perm[j])] = a[(i, j)];
+            }
+        }
+        let diff = &m - &b;
+        let val = match norm {
+            GraphNorm::Entrywise(p) => norms::entrywise_p(&diff, p),
+            GraphNorm::Operator1 => norms::operator_1(&diff),
+            GraphNorm::OperatorInf => norms::operator_inf(&diff),
+            GraphNorm::Spectral => norms::spectral(&diff),
+            GraphNorm::Cut => norms::cut_norm_exact(&diff),
+        };
+        if val < best {
+            best = val;
+        }
+    });
+    best
+}
+
+fn permute_rec(perm: &mut Vec<usize>, at: usize, visit: &mut impl FnMut(&[usize])) {
+    if at == perm.len() {
+        visit(perm);
+        return;
+    }
+    for i in at..perm.len() {
+        perm.swap(at, i);
+        permute_rec(perm, at + 1, visit);
+        perm.swap(at, i);
+    }
+}
+
+/// The per-node edit distance of eq. (5.4): minimum over bijections of the
+/// maximum per-node symmetric difference of neighbourhoods — equal to
+/// `dist_⟨1⟩`.
+pub fn per_node_edit_distance(g: &Graph, h: &Graph) -> f64 {
+    dist_exact(g, h, GraphNorm::Operator1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use x2v_graph::generators::{complete, cycle, path, star};
+    use x2v_graph::ops::permute;
+
+    #[test]
+    fn isomorphic_graphs_have_zero_distance() {
+        let g = cycle(5);
+        let h = permute(&g, &[2, 0, 3, 1, 4]);
+        for norm in [
+            GraphNorm::Entrywise(1.0),
+            GraphNorm::Entrywise(2.0),
+            GraphNorm::Operator1,
+            GraphNorm::Spectral,
+            GraphNorm::Cut,
+        ] {
+            assert!(dist_exact(&g, &h, norm) < 1e-9, "{norm:?}");
+        }
+        assert_eq!(edit_distance(&g, &h), 0.0);
+    }
+
+    #[test]
+    fn single_edge_flip() {
+        // C4 vs P4: one edge removal → edit distance 1, dist_1 = 2,
+        // Frobenius = √2.
+        let c = cycle(4);
+        let p = path(4);
+        assert_eq!(edit_distance(&c, &p), 1.0);
+        assert!((dist_exact(&c, &p, GraphNorm::Entrywise(2.0)) - 2f64.sqrt()).abs() < 1e-9);
+        // Per-node: the flip touches two nodes, one edge each.
+        assert_eq!(per_node_edit_distance(&c, &p), 1.0);
+    }
+
+    #[test]
+    fn complete_vs_empty() {
+        let k = complete(4);
+        let e = x2v_graph::Graph::empty(4);
+        assert_eq!(edit_distance(&k, &e), 6.0);
+        assert_eq!(per_node_edit_distance(&k, &e), 3.0);
+    }
+
+    #[test]
+    fn symmetry_of_distance() {
+        let a = star(4);
+        let b = path(5);
+        for norm in [
+            GraphNorm::Entrywise(2.0),
+            GraphNorm::Operator1,
+            GraphNorm::Cut,
+        ] {
+            let d1 = dist_exact(&a, &b, norm);
+            let d2 = dist_exact(&b, &a, norm);
+            assert!((d1 - d2).abs() < 1e-9, "{norm:?}: {d1} vs {d2}");
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_samples() {
+        let graphs = [cycle(5), path(5), star(4)];
+        let d = |x: &x2v_graph::Graph, y: &x2v_graph::Graph| {
+            dist_exact(x, y, GraphNorm::Entrywise(2.0))
+        };
+        for a in &graphs {
+            for b in &graphs {
+                for c in &graphs {
+                    assert!(d(a, c) <= d(a, b) + d(b, c) + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bnb_matches_enumeration() {
+        let a = cycle(5);
+        let b = star(4);
+        let fast = entrywise_bnb(&a, &b, 2.0);
+        let slow = enumerate_all(&a, &b, GraphNorm::Entrywise(2.0));
+        assert!((fast - slow).abs() < 1e-9);
+        let fast1 = entrywise_bnb(&a, &b, 1.0);
+        let slow1 = enumerate_all(&a, &b, GraphNorm::Entrywise(1.0));
+        assert!((fast1 - slow1).abs() < 1e-9);
+    }
+}

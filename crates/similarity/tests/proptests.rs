@@ -1,0 +1,80 @@
+//! Property-based tests: distance measures are permutation-invariant
+//! pseudo-metrics and relaxations lower-bound exact distances.
+
+use proptest::prelude::*;
+use x2v_graph::ops::permute;
+use x2v_graph::Graph;
+use x2v_similarity::matrix_dist::{dist_exact, GraphNorm};
+use x2v_similarity::relaxed::relaxed_distance;
+
+fn arb_graph(n: usize) -> impl Strategy<Value = Graph> {
+    any::<u32>().prop_map(move |mask| {
+        let pairs: Vec<(usize, usize)> = (0..n)
+            .flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
+            .collect();
+        let edges: Vec<(usize, usize)> = pairs
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| mask >> (i % 31) & 1 == 1)
+            .map(|(_, &e)| e)
+            .collect();
+        Graph::from_edges_unchecked(n, &edges)
+    })
+}
+
+fn seeded_perm(n: usize, seed: u64) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut s = seed | 1;
+    for i in (1..n).rev() {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+        perm.swap(i, (s >> 33) as usize % (i + 1));
+    }
+    perm
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn distance_zero_on_isomorphic_copies(g in arb_graph(6), seed in any::<u64>()) {
+        let h = permute(&g, &seeded_perm(6, seed));
+        prop_assert!(dist_exact(&g, &h, GraphNorm::Entrywise(2.0)) < 1e-9);
+        prop_assert!(dist_exact(&g, &h, GraphNorm::Entrywise(1.0)) < 1e-9);
+    }
+
+    #[test]
+    fn distance_symmetric(g in arb_graph(5), h in arb_graph(5)) {
+        for norm in [GraphNorm::Entrywise(1.0), GraphNorm::Entrywise(2.0)] {
+            let d1 = dist_exact(&g, &h, norm);
+            let d2 = dist_exact(&h, &g, norm);
+            prop_assert!((d1 - d2).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn relaxed_lower_bounds_exact(g in arb_graph(6), h in arb_graph(6)) {
+        let relaxed = relaxed_distance(&g, &h);
+        let exact = dist_exact(&g, &h, GraphNorm::Entrywise(2.0));
+        // Frank-Wolfe returns an iterate (an upper bound on the relaxed
+        // optimum), so allow its convergence slack.
+        prop_assert!(relaxed <= exact + 1e-2, "relaxed {} > exact {}", relaxed, exact);
+    }
+
+    #[test]
+    fn edit_distance_bounded_by_symmetric_difference(g in arb_graph(6), h in arb_graph(6)) {
+        // Identity alignment gives an upper bound on the optimal alignment.
+        let naive: usize = {
+            let mut count = 0;
+            for u in 0..6 {
+                for v in (u + 1)..6 {
+                    if g.has_edge(u, v) != h.has_edge(u, v) {
+                        count += 1;
+                    }
+                }
+            }
+            count
+        };
+        let opt = x2v_similarity::matrix_dist::edit_distance(&g, &h);
+        prop_assert!(opt <= naive as f64 + 1e-9);
+    }
+}

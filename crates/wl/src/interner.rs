@@ -1,0 +1,80 @@
+//! Colour interning: signatures ↦ dense `u64` colour ids.
+
+use x2v_graph::hash::FxHashMap;
+
+/// A WL colour. Colours are *structural*: a colour id identifies an
+/// unfolding tree, independently of which graph produced it, as long as all
+/// graphs share one [`ColourInterner`].
+pub type Colour = u64;
+
+/// Interns refinement signatures into dense colour ids.
+///
+/// Signatures are encoded as `Vec<u64>` by the refinement algorithms. The
+/// interner also remembers each signature so a colour can be *unfolded* back
+/// into its defining tree (Figure 5 of the paper; see `crate::unfold`).
+#[derive(Default)]
+pub struct ColourInterner {
+    map: FxHashMap<Vec<u64>, Colour>,
+    signatures: Vec<Vec<u64>>,
+}
+
+impl ColourInterner {
+    /// Fresh interner with no colours.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the colour of `signature`, creating one if unseen.
+    pub fn intern(&mut self, signature: Vec<u64>) -> Colour {
+        if let Some(&c) = self.map.get(&signature) {
+            return c;
+        }
+        let c = self.signatures.len() as Colour;
+        self.signatures.push(signature.clone());
+        self.map.insert(signature, c);
+        c
+    }
+
+    /// The signature that defines colour `c`.
+    ///
+    /// # Panics
+    /// If `c` was not produced by this interner.
+    pub fn signature(&self, c: Colour) -> &[u64] {
+        &self.signatures[c as usize]
+    }
+
+    /// Number of distinct colours interned so far.
+    pub fn len(&self) -> usize {
+        self.signatures.len()
+    }
+
+    /// Whether no colour has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.signatures.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable() {
+        let mut i = ColourInterner::new();
+        let a = i.intern(vec![1, 2, 3]);
+        let b = i.intern(vec![1, 2, 4]);
+        let a2 = i.intern(vec![1, 2, 3]);
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.signature(a), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn ids_are_dense() {
+        let mut i = ColourInterner::new();
+        for k in 0..10u64 {
+            assert_eq!(i.intern(vec![k]), k);
+        }
+    }
+}

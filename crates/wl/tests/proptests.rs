@@ -1,0 +1,97 @@
+//! Property-based tests: WL is an isomorphism invariant and its histograms
+//! are well-formed; weighted WL with unit weights matches plain WL.
+
+use proptest::prelude::*;
+use x2v_graph::ops::permute;
+use x2v_graph::{Graph, WeightedGraph};
+use x2v_wl::weighted::WeightedRefiner;
+use x2v_wl::Refiner;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (3usize..=7, any::<u32>()).prop_map(|(n, mask)| {
+        let pairs: Vec<(usize, usize)> = (0..n)
+            .flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
+            .collect();
+        let edges: Vec<(usize, usize)> = pairs
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| mask >> (i % 31) & 1 == 1)
+            .map(|(_, &e)| e)
+            .collect();
+        Graph::from_edges_unchecked(n, &edges)
+    })
+}
+
+fn seeded_perm(n: usize, seed: u64) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut s = seed | 1;
+    for i in (1..n).rev() {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+        perm.swap(i, (s >> 33) as usize % (i + 1));
+    }
+    perm
+}
+
+proptest! {
+    #[test]
+    fn wl_never_distinguishes_isomorphic_copies(g in arb_graph(), seed in any::<u64>()) {
+        let h = permute(&g, &seeded_perm(g.order(), seed));
+        prop_assert!(!Refiner::new().distinguishes(&g, &h));
+    }
+
+    #[test]
+    fn histograms_partition_the_nodes(g in arb_graph()) {
+        let mut r = Refiner::new();
+        let hist = r.refine_to_stable(&g);
+        for t in 0..hist.num_rounds() {
+            let total: u64 = hist.histogram(t).values().sum();
+            prop_assert_eq!(total, g.order() as u64);
+            // Refinement never merges classes.
+            if t > 0 {
+                prop_assert!(hist.num_classes(t) >= hist.num_classes(t - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn stable_partition_is_equitable(g in arb_graph()) {
+        let mut r = Refiner::new();
+        let hist = r.refine_to_stable(&g);
+        let stable = hist.stable();
+        // Same colour ⇒ same multiset of neighbour colours.
+        for v in 0..g.order() {
+            for w in 0..g.order() {
+                if stable[v] == stable[w] {
+                    let mut nv: Vec<u64> = g.neighbours(v).iter().map(|&x| stable[x]).collect();
+                    let mut nw: Vec<u64> = g.neighbours(w).iter().map(|&x| stable[x]).collect();
+                    nv.sort_unstable();
+                    nw.sort_unstable();
+                    prop_assert_eq!(nv, nw);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unit_weighted_wl_matches_plain_partition(g in arb_graph()) {
+        let mut plain = Refiner::new();
+        let p = plain.refine_to_stable(&g);
+        let ps = p.stable();
+        let mut weighted = WeightedRefiner::new();
+        let w = weighted.refine_to_stable(&WeightedGraph::from_graph(&g));
+        let ws = w.stable();
+        for v in 0..g.order() {
+            for u in 0..g.order() {
+                prop_assert_eq!(ps[v] == ps[u], ws[v] == ws[u], "{} {}", v, u);
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_wl_invariant_under_permutation(g in arb_graph(), seed in any::<u64>()) {
+        let perm = seeded_perm(g.order(), seed);
+        let wg = WeightedGraph::from_graph(&g);
+        let wh = WeightedGraph::from_graph(&permute(&g, &perm));
+        prop_assert!(!WeightedRefiner::new().distinguishes(&wg, &wh));
+    }
+}

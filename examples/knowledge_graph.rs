@@ -1,0 +1,67 @@
+//! Knowledge-graph embeddings: train TransE and RESCAL on a synthetic
+//! countries world and ask the paper's motivating question — does
+//! `capital − country` behave like one shared translation vector?
+//!
+//! Run with `cargo run --release --example knowledge_graph`.
+
+use x2vec_suite::datasets::kg::{generate_world, relations};
+use x2vec_suite::datasets::metrics::{hits_at_k, mean_reciprocal_rank};
+use x2vec_suite::embed::rescal::{Rescal, RescalConfig};
+use x2vec_suite::embed::transe::{TransE, TransEConfig};
+
+fn main() {
+    let world = generate_world(16, 4, 1, 0.25, 2026);
+    println!(
+        "world: {} entities / {} relations; {} train, {} test facts\n",
+        world.kg.n_entities(),
+        world.kg.n_relations(),
+        world.train.triples().len(),
+        world.test.len()
+    );
+
+    let transe = TransE::train(&world.train, &TransEConfig::default());
+    let rescal = Rescal::train(&world.train, &RescalConfig::default());
+
+    let t_ranks: Vec<usize> = world
+        .test
+        .iter()
+        .map(|&(h, r, t)| transe.tail_rank(h, r, t))
+        .collect();
+    let r_ranks: Vec<usize> = world
+        .test
+        .iter()
+        .map(|&(h, r, t)| rescal.tail_rank(h, r, t))
+        .collect();
+    println!(
+        "TransE : hits@3 {:.0}%  MRR {:.3}",
+        100.0 * hits_at_k(&t_ranks, 3),
+        mean_reciprocal_rank(&t_ranks)
+    );
+    println!(
+        "RESCAL : hits@3 {:.0}%  MRR {:.3}",
+        100.0 * hits_at_k(&r_ranks, 3),
+        mean_reciprocal_rank(&r_ranks)
+    );
+
+    // The Paris − France ≈ Santiago − Chile test.
+    println!("\ntranslation test: x_capital − x_country for the first four countries:");
+    for c in 0..4 {
+        let capital = world.city_base + c;
+        let diff: Vec<f64> = transe.entities[capital]
+            .iter()
+            .zip(&transe.entities[c])
+            .map(|(a, b)| a - b)
+            .take(4)
+            .collect();
+        println!(
+            "  country {c}: [{:+.2}, {:+.2}, {:+.2}, {:+.2}, ...]",
+            diff[0], diff[1], diff[2], diff[3]
+        );
+    }
+    let r = &transe.relations[relations::CAPITAL_OF][..4];
+    println!(
+        "  capital_of translation: [{:+.2}, {:+.2}, {:+.2}, {:+.2}, ...]",
+        r[0], r[1], r[2], r[3]
+    );
+    println!("\nthe per-country differences cluster around (minus) the learned translation.");
+}

@@ -1,0 +1,25 @@
+//! # x2vec-suite — umbrella crate
+//!
+//! Re-exports the whole `x2vec` workspace, a Rust reproduction of Grohe's
+//! *"word2vec, node2vec, graph2vec, X2vec: Towards a Theory of Vector
+//! Embeddings of Structured Data"* (PODS 2020). See `README.md` for the
+//! architecture map, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for the paper-vs-measured record.
+//!
+//! The runnable entry points live in `examples/` (API walkthroughs) and in
+//! the `x2v-bench` crate (`exp_*` binaries regenerating the paper's
+//! figures, examples and theorem checks).
+
+#![warn(missing_docs)]
+
+pub use x2v_core as core;
+pub use x2v_datasets as datasets;
+pub use x2v_embed as embed;
+pub use x2v_gnn as gnn;
+pub use x2v_graph as graph;
+pub use x2v_hom as hom;
+pub use x2v_kernel as kernel;
+pub use x2v_linalg as linalg;
+pub use x2v_logic as logic;
+pub use x2v_similarity as similarity;
+pub use x2v_wl as wl;

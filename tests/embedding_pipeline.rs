@@ -1,0 +1,92 @@
+//! Integration: datasets → embeddings (hom, WL, graph2vec, node2vec, GNN) →
+//! downstream classifiers → accuracy above chance.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use x2vec_suite::core::distance::{accuracy, knn1_predict};
+use x2vec_suite::core::hom_embed::HomVectorEmbedding;
+use x2vec_suite::core::wl_embed::WlSubtreeEmbedding;
+use x2vec_suite::core::{GraphEmbedding, NodeEmbedding};
+use x2vec_suite::datasets::splits::train_test_split;
+use x2vec_suite::datasets::synthetic::cycles_vs_trees;
+use x2vec_suite::embed::deepwalk::DeepWalk;
+use x2vec_suite::gnn::layer::Activation;
+use x2vec_suite::gnn::model::{GnnClassifier, GnnModel, InitialFeatures, TrainConfig};
+use x2vec_suite::graph::generators::sbm;
+
+fn holdout_accuracy(embeds: &[Vec<f64>], labels: &[usize], seed: u64) -> f64 {
+    let (train, test) = train_test_split(labels, 0.3, seed);
+    let train_vecs: Vec<Vec<f64>> = train.iter().map(|&i| embeds[i].clone()).collect();
+    let train_labels: Vec<usize> = train.iter().map(|&i| labels[i]).collect();
+    let test_vecs: Vec<Vec<f64>> = test.iter().map(|&i| embeds[i].clone()).collect();
+    let test_labels: Vec<usize> = test.iter().map(|&i| labels[i]).collect();
+    let preds = knn1_predict(&train_vecs, &train_labels, &test_vecs);
+    accuracy(&preds, &test_labels)
+}
+
+#[test]
+fn hom_embedding_classifies_above_chance() {
+    let data = cycles_vs_trees(15, 6, 11);
+    let emb = HomVectorEmbedding::trees_and_cycles(20);
+    let vecs = emb.embed_all(&data.graphs);
+    let acc = holdout_accuracy(&vecs, &data.labels, 1);
+    assert!(acc >= 0.7, "hom embedding 1-NN accuracy {acc}");
+}
+
+#[test]
+fn wl_embedding_solves_cycles_vs_trees() {
+    let data = cycles_vs_trees(15, 6, 12);
+    let emb = WlSubtreeEmbedding::fit(&data.graphs, 3);
+    let vecs = emb.embed_all(&data.graphs);
+    let acc = holdout_accuracy(&vecs, &data.labels, 2);
+    assert!(acc >= 0.9, "WL embedding 1-NN accuracy {acc}");
+}
+
+#[test]
+fn deepwalk_recovers_sbm_communities() {
+    let mut rng = StdRng::seed_from_u64(13);
+    let g = sbm(&[10, 10], 0.7, 0.05, &mut rng);
+    let vecs = DeepWalk::new().embed_nodes(&g);
+    let labels: Vec<usize> = g.labels().iter().map(|&l| l as usize).collect();
+    // leave-one-out 1-NN
+    let mut correct = 0;
+    for v in 0..g.order() {
+        let train: Vec<Vec<f64>> = (0..g.order())
+            .filter(|&w| w != v)
+            .map(|w| vecs[w].clone())
+            .collect();
+        let tl: Vec<usize> = (0..g.order())
+            .filter(|&w| w != v)
+            .map(|w| labels[w])
+            .collect();
+        if knn1_predict(&train, &tl, &[vecs[v].clone()])[0] == labels[v] {
+            correct += 1;
+        }
+    }
+    assert!(correct >= 16, "deepwalk community recovery {correct}/20");
+}
+
+#[test]
+fn gnn_trains_end_to_end() {
+    let data = cycles_vs_trees(10, 5, 14);
+    let model = GnnModel::new(1, 8, 2, Activation::Tanh, InitialFeatures::Constant, 21);
+    let mut clf = GnnClassifier::new(model, 2, 22);
+    let losses = clf.train(
+        &data.graphs,
+        &data.labels,
+        &TrainConfig {
+            epochs: 100,
+            learning_rate: 0.02,
+            clip: 5.0,
+        },
+    );
+    assert!(losses.last().unwrap() < &losses[0], "training reduces loss");
+    let train_acc = data
+        .graphs
+        .iter()
+        .zip(&data.labels)
+        .filter(|(g, &l)| clf.predict(g) == l)
+        .count() as f64
+        / data.len() as f64;
+    assert!(train_acc >= 0.75, "GNN train accuracy {train_acc}");
+}
