@@ -17,6 +17,7 @@ use x2v_kernel::gram::normalize;
 use x2v_kernel::wl::WlSubtreeKernel;
 
 fn main() {
+    let _obs = x2v_bench::ObsRun::new("exp_ablations");
     println!("E25 — ablations\n");
 
     // 1. 2-GNN aggregation: with the joint multiplicative term the model

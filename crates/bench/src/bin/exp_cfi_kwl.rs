@@ -10,6 +10,7 @@ use x2v_wl::kwl::KwlRefiner;
 use x2v_wl::Refiner;
 
 fn main() {
+    let _obs = x2v_bench::ObsRun::new("exp_cfi_kwl");
     println!("E12 — CFI graphs vs the WL hierarchy\n");
     let bases: Vec<(&str, x2v_graph::Graph, usize)> =
         vec![("C5 (tw 2)", cycle(5), 2), ("K4 (tw 3)", complete(4), 3)];

@@ -7,6 +7,7 @@ use x2v_graph::generators::{complete, cycle, petersen, star};
 use x2v_hom::{brute, trees};
 
 fn main() {
+    let _obs = x2v_bench::ObsRun::new("exp_ex41_hom_counts");
     println!("E5 — Example 4.1: hom(S_k, G) = Σ_v deg(v)^k\n");
     let targets: Vec<(&str, x2v_graph::Graph)> = vec![
         ("C5", cycle(5)),

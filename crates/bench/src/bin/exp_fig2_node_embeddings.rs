@@ -10,6 +10,7 @@ use x2v_embed::spectral::{AdjacencySvd, ExpDistanceSvd};
 use x2v_graph::generators::karate_club;
 
 fn main() {
+    let _obs = x2v_bench::ObsRun::new("exp_fig2_node_embeddings");
     println!("E1 — Figure 2: three node embeddings of one graph (2-D coordinates)\n");
     let g = karate_club();
     println!("graph: Zachary karate club (n = 34, m = 78), labels = factions\n");

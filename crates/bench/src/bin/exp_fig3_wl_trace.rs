@@ -8,6 +8,7 @@ use x2v_graph::Graph;
 use x2v_wl::Refiner;
 
 fn main() {
+    let _obs = x2v_bench::ObsRun::new("exp_fig3_wl_trace");
     // A graph in the spirit of Figure 3: 6 nodes, mixed degrees.
     let g =
         Graph::from_edges_unchecked(6, &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (3, 5), (4, 5)]);

@@ -6,6 +6,7 @@ use x2v_linalg::Matrix;
 use x2v_wl::matrix::{compress_rhs, lift_solution, matrix_wl, quotient_matrix};
 
 fn main() {
+    let _obs = x2v_bench::ObsRun::new("exp_fig4_matrix_wl");
     println!("E3 — matrix WL (Figure 4) and colour-refinement dimension reduction [44]\n");
     // A structured matrix with repeated row/column patterns.
     let a = Matrix::from_rows(&[

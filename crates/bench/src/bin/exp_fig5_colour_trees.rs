@@ -14,6 +14,7 @@ use x2v_wl::unfold::{count_colour_tree, unfolding_tree};
 use x2v_wl::Refiner;
 
 fn main() {
+    let _obs = x2v_bench::ObsRun::new("exp_fig5_colour_trees");
     println!("E4 — colours as unfolding trees (Figure 5, Example 3.3)\n");
     let g = x2v_graph::Graph::from_edges_unchecked(
         6,

@@ -10,6 +10,7 @@ use x2v_linalg::eigen::sym_eigenvalues;
 use x2v_linalg::Matrix;
 
 fn main() {
+    let _obs = x2v_bench::ObsRun::new("exp_fig6_cospectral");
     println!("E7 — Figure 6 / Theorem 4.3 / Example 4.7\n");
     let g = star(4);
     let h = disjoint_union(&cycle(4), &path(1));

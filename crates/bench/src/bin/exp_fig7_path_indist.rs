@@ -19,6 +19,7 @@ use x2v_hom::walks::path_profile;
 const PROFILE_LEN: usize = 21;
 
 fn main() {
+    let _obs = x2v_bench::ObsRun::new("exp_fig7_path_indist");
     println!("E8 — path-indistinguishable but 1-WL-distinguishable pairs (Figure 7)\n");
 
     // Stage 1: exhaustive scan at small orders.

@@ -15,6 +15,7 @@ use x2v_graph::ops::disjoint_union;
 use x2v_kernel::wl::WlSubtreeKernel;
 
 fn main() {
+    let _obs = x2v_bench::ObsRun::new("exp_gnn_expressiveness");
     println!("E15 — GNNs and the 1-WL ceiling (Section 3.6)\n");
     // Part 1: the ceiling.
     let c6 = cycle(6);

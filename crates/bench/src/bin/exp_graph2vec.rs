@@ -9,6 +9,7 @@ use x2v_hom::vectors::HomBasis;
 use x2v_kernel::wl::WlSubtreeKernel;
 
 fn main() {
+    let _obs = x2v_bench::ObsRun::new("exp_graph2vec");
     println!("E18 — graph2vec (PV-DBOW over WL words)\n");
     let datasets = vec![
         cycles_vs_trees(20, 6, 42),

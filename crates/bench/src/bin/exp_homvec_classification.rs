@@ -9,6 +9,7 @@ use x2v_hom::vectors::HomBasis;
 use x2v_kernel::wl::WlSubtreeKernel;
 
 fn main() {
+    let _obs = x2v_bench::ObsRun::new("exp_homvec_classification");
     println!("E14 — hom-vector embedding (log-scaled, trees + cycles)\n");
     let suite = standard_suite(42);
     let mut widths = vec![14usize];

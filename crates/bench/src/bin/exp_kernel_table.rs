@@ -17,6 +17,7 @@ use x2v_kernel::wl::WlSubtreeKernel;
 use x2v_kernel::wl2::Wl2Kernel;
 
 fn main() {
+    let _obs = x2v_bench::ObsRun::new("exp_kernel_table");
     println!("E13 — kernel comparison (5-fold CV accuracy, SVM)\n");
     let suite = standard_suite(42);
     let kernels: Vec<(&str, Box<dyn GraphKernel>)> = vec![

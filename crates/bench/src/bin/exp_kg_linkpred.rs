@@ -10,6 +10,7 @@ use x2v_embed::transe::{TransE, TransEConfig};
 use x2v_linalg::vector::euclidean;
 
 fn main() {
+    let _obs = x2v_bench::ObsRun::new("exp_kg_linkpred");
     println!("E16 — link prediction on the synthetic countries world\n");
     let world = generate_world(20, 4, 2, 0.25, 1234);
     println!(

@@ -52,6 +52,7 @@ impl NodeEmbedding for GaeEmbedding {
 }
 
 fn main() {
+    let _obs = x2v_bench::ObsRun::new("exp_node_classification");
     println!("E17b — node embeddings for community labels (leave-one-out 1-NN)\n");
     let mut rng = StdRng::seed_from_u64(31);
     let sbm_graph = sbm(&[12, 12], 0.6, 0.08, &mut rng);

@@ -13,6 +13,7 @@ use x2v_similarity::matrix_dist::{dist_exact, edit_distance, GraphNorm};
 use x2v_similarity::relaxed::relaxed_distance;
 
 fn main() {
+    let _obs = x2v_bench::ObsRun::new("exp_similarity_table");
     println!("E19 — graph distances (Section 5)\n");
     let pairs: Vec<(&str, x2v_graph::Graph, x2v_graph::Graph)> = vec![
         ("C6 vs P6", cycle(6), path(6)),

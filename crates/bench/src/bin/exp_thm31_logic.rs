@@ -9,6 +9,7 @@ use x2v_logic::equivalence::{
 use x2v_wl::Refiner;
 
 fn main() {
+    let _obs = x2v_bench::ObsRun::new("exp_thm31_logic");
     println!("E11 — Theorem 3.1 (k = 1): C²-equivalence <=> 1-WL-indistinguishability\n");
     let battery = standard_battery(2, 3, 400, 2024);
     println!("battery: 400 random C² sentences of quantifier rank <= 5\n");

@@ -9,6 +9,7 @@ use x2v_similarity::relaxed::relaxed_distance_full;
 use x2v_wl::fractional::{certificate, fractionally_isomorphic, verify_certificate};
 
 fn main() {
+    let _obs = x2v_bench::ObsRun::new("exp_thm32_fractional_iso");
     println!("E10 — Theorem 3.2: fractional isomorphism <=> 1-WL-equivalence\n");
     let pairs: Vec<(&str, x2v_graph::Graph, x2v_graph::Graph)> = vec![
         ("C6 vs 2xC3", cycle(6), disjoint_union(&cycle(3), &cycle(3))),

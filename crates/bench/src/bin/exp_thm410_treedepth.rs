@@ -34,6 +34,7 @@ fn rank_battery(rank: usize, size: usize, seed: u64) -> Vec<Formula> {
 }
 
 fn main() {
+    let _obs = x2v_bench::ObsRun::new("exp_thm410_treedepth");
     println!("E23 — Theorem 4.10: Hom over TD_k <=> C_k-equivalence\n");
     for k in [2usize, 3] {
         let class = treedepth_class(4, k);

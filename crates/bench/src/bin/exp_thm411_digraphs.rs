@@ -7,6 +7,7 @@ use x2v_bench::harness::{print_header, print_row};
 use x2v_hom::digraph::{all_dags_up_to, all_digraphs, digraphs_isomorphic, hom_count_digraph};
 
 fn main() {
+    let _obs = x2v_bench::ObsRun::new("exp_thm411_digraphs");
     println!("E22 — Theorem 4.11: Hom_DA determines directed isomorphism\n");
     let dag_basis = all_dags_up_to(3);
     println!(

@@ -6,6 +6,7 @@ use x2v_graph::enumerate::all_graphs_up_to;
 use x2v_hom::lovasz::LovaszSystem;
 
 fn main() {
+    let _obs = x2v_bench::ObsRun::new("exp_thm42_lovasz_matrix");
     println!("E6 — Lovász: HOM = P · D · M over all graphs of order <= 4 and <= 5\n");
     for n in [4usize, 5] {
         let universe = all_graphs_up_to(n);

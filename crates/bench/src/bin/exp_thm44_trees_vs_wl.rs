@@ -7,6 +7,7 @@ use x2v_hom::indist::{indistinguishable_over, tree_indistinguishable};
 use x2v_hom::rooted::{nodes_tree_hom_equivalent, RootedBasis};
 
 fn main() {
+    let _obs = x2v_bench::ObsRun::new("exp_thm44_trees_vs_wl");
     println!("E9 — Theorem 4.4 (trees <=> 1-WL), exhaustive small-graph check\n");
     // Graph level: compare hom over all trees of order <= 7 with WL.
     let tree_basis: Vec<_> = (1..=7).flat_map(free_trees).collect();

@@ -13,6 +13,7 @@ use x2v_linalg::Matrix;
 use x2v_wl::matrix::matrix_wl;
 
 fn main() {
+    let _obs = x2v_bench::ObsRun::new("exp_weighted_wl");
     println!("E20 — Theorem 4.13: weighted WL <=> weighted tree homs\n");
     let mut rng = StdRng::seed_from_u64(99);
     let mut pairs_checked = 0;

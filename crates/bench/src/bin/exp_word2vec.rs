@@ -7,6 +7,7 @@ use x2v_datasets::corpus::topic_corpus;
 use x2v_embed::word2vec::{SgnsConfig, Word2Vec};
 
 fn main() {
+    let _obs = x2v_bench::ObsRun::new("exp_word2vec");
     println!("E17a — SGNS on a planted-topic corpus\n");
     let widths = [8, 12, 12, 14];
     print_header(&["noise", "intra-cos", "inter-cos", "NN purity"], &widths);

@@ -18,29 +18,59 @@ pub fn kernel_cv_accuracy(
     folds: usize,
     seed: u64,
 ) -> f64 {
-    let gram = normalize(&kernel.gram(&dataset.graphs));
+    let _timer = x2v_obs::span("bench/kernel_cv");
+    let gram = {
+        let _g = x2v_obs::span("bench/gram");
+        normalize(&kernel.gram(&dataset.graphs))
+    };
     gram_cv_accuracy(&gram, &dataset.labels, folds, seed)
 }
 
 /// k-fold cross-validated SVM accuracy from a precomputed Gram matrix.
 pub fn gram_cv_accuracy(gram: &Matrix, labels: &[usize], folds: usize, seed: u64) -> f64 {
     let fold_of = stratified_folds(labels, folds, seed);
-    let mut predictions = vec![usize::MAX; labels.len()];
+    let n = labels.len();
+    // Index maps hoisted out of the fold loop: one pass over the samples
+    // builds every fold's train/test lists instead of 2·folds full scans.
+    let mut train_of_fold: Vec<Vec<usize>> = vec![Vec::with_capacity(n); folds];
+    let mut test_of_fold: Vec<Vec<usize>> = vec![Vec::new(); folds];
+    for (i, &fi) in fold_of.iter().enumerate() {
+        for (f, train) in train_of_fold.iter_mut().enumerate() {
+            if f != fi {
+                train.push(i);
+            }
+        }
+        test_of_fold[fi].push(i);
+    }
+    let mut predictions = vec![usize::MAX; n];
     for f in 0..folds {
-        let train_idx: Vec<usize> = (0..labels.len()).filter(|&i| fold_of[i] != f).collect();
-        let test_idx: Vec<usize> = (0..labels.len()).filter(|&i| fold_of[i] == f).collect();
-        // Training sub-Gram.
+        let train_idx = &train_of_fold[f];
+        let test_idx = &test_of_fold[f];
+        // Training sub-Gram: gather rows once, then gather columns per row.
         let nt = train_idx.len();
         let mut sub = Matrix::zeros(nt, nt);
-        for (a, &i) in train_idx.iter().enumerate() {
-            for (b, &j) in train_idx.iter().enumerate() {
-                sub[(a, b)] = gram[(i, j)];
+        {
+            let _t = x2v_obs::span("bench/fold_subgram");
+            for (a, &i) in train_idx.iter().enumerate() {
+                let src = gram.row(i);
+                let dst = sub.row_mut(a);
+                for (d, &j) in dst.iter_mut().zip(train_idx) {
+                    *d = src[j];
+                }
             }
         }
         let train_labels: Vec<usize> = train_idx.iter().map(|&i| labels[i]).collect();
-        let svm = MulticlassSvm::train(&sub, &train_labels, SvmConfig::default());
-        for &q in &test_idx {
-            let krow: Vec<f64> = train_idx.iter().map(|&i| gram[(q, i)]).collect();
+        let svm = {
+            let _t = x2v_obs::span("bench/fold_train");
+            MulticlassSvm::train(&sub, &train_labels, SvmConfig::default())
+        };
+        let _t = x2v_obs::span("bench/fold_predict");
+        let mut krow = vec![0.0f64; nt];
+        for &q in test_idx {
+            let src = gram.row(q);
+            for (k, &i) in krow.iter_mut().zip(train_idx) {
+                *k = src[i];
+            }
             predictions[q] = svm.predict(&krow);
         }
     }
@@ -55,6 +85,7 @@ pub fn embedding_cv_accuracy(
     folds: usize,
     seed: u64,
 ) -> f64 {
+    let _timer = x2v_obs::span("bench/embedding_cv");
     let n = embeddings.len();
     let mut gram = Matrix::zeros(n, n);
     for i in 0..n {

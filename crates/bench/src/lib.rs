@@ -8,3 +8,26 @@
 #![warn(rust_2018_idioms)]
 
 pub mod harness;
+
+/// RAII guard that finalises the instrumentation report of one experiment.
+///
+/// Put one at the top of an `exp_*` binary's `main`; when it drops at exit
+/// the collected spans/counters/histograms are written as a JSON report
+/// and/or printed as a table, according to the `X2V_OBS` environment
+/// variable (no-op when observability is off).
+pub struct ObsRun {
+    run: &'static str,
+}
+
+impl ObsRun {
+    /// Guard for the run named `run` (conventionally the binary name).
+    pub fn new(run: &'static str) -> Self {
+        ObsRun { run }
+    }
+}
+
+impl Drop for ObsRun {
+    fn drop(&mut self) {
+        x2v_obs::finish(self.run);
+    }
+}

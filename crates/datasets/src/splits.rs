@@ -14,6 +14,7 @@ fn shuffle<T>(v: &mut [T], rng: &mut StdRng) {
 /// Stratified k-fold assignment: returns `fold[i] ∈ 0..k` per sample, with
 /// each class spread evenly across folds.
 pub fn stratified_folds(labels: &[usize], k: usize, seed: u64) -> Vec<usize> {
+    let _timer = x2v_obs::span("datasets/stratified_folds");
     assert!(k >= 2, "need at least two folds");
     let mut rng = StdRng::seed_from_u64(seed);
     let classes = labels.iter().copied().max().map_or(0, |m| m + 1);

@@ -52,6 +52,7 @@ pub struct Rescal {
 impl Rescal {
     /// Trains on a knowledge graph.
     pub fn train(kg: &KnowledgeGraph, config: &RescalConfig) -> Self {
+        let _timer = x2v_obs::span("embed/rescal_train");
         let dim = config.dim;
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut entities: Vec<Vec<f64>> = (0..kg.n_entities())
@@ -71,7 +72,12 @@ impl Rescal {
         );
         let mut grad_h = vec![0.0f64; dim];
         let mut grad_t = vec![0.0f64; dim];
-        for _ in 0..config.epochs {
+        for epoch in 0..config.epochs {
+            x2v_obs::progress(
+                "embed/rescal_epochs",
+                (epoch + 1) as u64,
+                config.epochs as u64,
+            );
             for &(h, r, t) in &triples {
                 Self::sgd_step(
                     &mut entities,

@@ -50,6 +50,7 @@ pub struct TransE {
 impl TransE {
     /// Trains on a knowledge graph.
     pub fn train(kg: &KnowledgeGraph, config: &TransEConfig) -> Self {
+        let _timer = x2v_obs::span("embed/transe_train");
         let mut rng = StdRng::seed_from_u64(config.seed);
         let dim = config.dim;
         let unit = |rng: &mut StdRng| {
@@ -64,7 +65,12 @@ impl TransE {
             !triples.is_empty(),
             "cannot train on an empty knowledge graph"
         );
-        for _ in 0..config.epochs {
+        for epoch in 0..config.epochs {
+            x2v_obs::progress(
+                "embed/transe_epochs",
+                (epoch + 1) as u64,
+                config.epochs as u64,
+            );
             for &(h, r, t) in &triples {
                 // Corrupt head or tail.
                 let corrupt_head = rng.random::<f64>() < 0.5;

@@ -39,6 +39,7 @@ impl Default for WalkConfig {
 /// Generates the walk corpus: one sentence of node ids per walk. Nodes with
 /// no neighbours yield length-1 walks.
 pub fn generate_walks(g: &Graph, config: &WalkConfig) -> Vec<Vec<usize>> {
+    let _timer = x2v_obs::span("embed/generate_walks");
     let mut rng = StdRng::seed_from_u64(config.seed);
     let n = g.order();
     let mut corpus = Vec::with_capacity(n * config.walks_per_node);
@@ -63,6 +64,10 @@ pub fn generate_walks(g: &Graph, config: &WalkConfig) -> Vec<Vec<usize>> {
             corpus.push(walk);
         }
     }
+    x2v_obs::counter_add(
+        "embed/walk_steps",
+        corpus.iter().map(|w| w.len() as u64).sum(),
+    );
     corpus
 }
 

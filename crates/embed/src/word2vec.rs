@@ -56,6 +56,7 @@ impl Word2Vec {
     /// # Panics
     /// If any token id is `≥ vocab` or the corpus is empty.
     pub fn train(corpus: &[Vec<usize>], vocab: usize, config: &SgnsConfig) -> Self {
+        let _timer = x2v_obs::span("embed/word2vec_train");
         assert!(!corpus.is_empty(), "empty corpus");
         let mut counts = vec![0f64; vocab];
         let mut total_tokens = 0usize;
@@ -78,7 +79,15 @@ impl Word2Vec {
         let total_steps = (config.epochs * total_tokens).max(1);
         let mut step = 0usize;
         let mut grad = vec![0.0f64; dim];
-        for _epoch in 0..config.epochs {
+        // Negative-sample draws accumulate locally; the registry lock is
+        // taken once at the end, not inside the SGD loop.
+        let mut neg_draws = 0u64;
+        for epoch in 0..config.epochs {
+            x2v_obs::progress(
+                "embed/word2vec_epochs",
+                (epoch + 1) as u64,
+                config.epochs as u64,
+            );
             for sentence in corpus {
                 for (pos, &centre) in sentence.iter().enumerate() {
                     let lr =
@@ -109,6 +118,7 @@ impl Word2Vec {
                         }
                         // Negative pairs.
                         for _ in 0..config.negative {
+                            neg_draws += 1;
                             let neg = negatives.sample(&mut rng);
                             if neg == context {
                                 continue;
@@ -129,6 +139,7 @@ impl Word2Vec {
                 }
             }
         }
+        x2v_obs::counter_add("embed/negative_samples", neg_draws);
         Word2Vec {
             input,
             output,
@@ -210,8 +221,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         (0..sentences)
             .map(|i| {
-                let base = if i % 2 == 0 { 0 } else { 5 };
-                (0..12).map(|_| base + rng.random_range(0..5)).collect()
+                let base: usize = if i % 2 == 0 { 0 } else { 5 };
+                (0..12)
+                    .map(|_| base + rng.random_range(0..5usize))
+                    .collect()
             })
             .collect()
     }

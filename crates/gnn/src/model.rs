@@ -200,18 +200,23 @@ impl GnnClassifier {
     /// Trains with full-batch-per-graph SGD on cross-entropy; returns the
     /// loss trajectory (one value per epoch).
     pub fn train(&mut self, graphs: &[Graph], labels: &[usize], config: &TrainConfig) -> Vec<f64> {
+        let _timer = x2v_obs::span("gnn/train");
         assert_eq!(graphs.len(), labels.len(), "label length mismatch");
         let adjs: Vec<Matrix> = graphs
             .iter()
             .map(|g| Matrix::from_flat(g.order(), g.order(), g.adjacency_flat()))
             .collect();
         let mut losses = Vec::with_capacity(config.epochs);
-        for _ in 0..config.epochs {
+        for epoch in 0..config.epochs {
+            x2v_obs::progress("gnn/epochs", (epoch + 1) as u64, config.epochs as u64);
             let mut epoch_loss = 0.0;
             for (i, g) in graphs.iter().enumerate() {
                 epoch_loss += self.sgd_step(g, &adjs[i], labels[i], config);
             }
             losses.push(epoch_loss / graphs.len() as f64);
+        }
+        if let Some(last) = losses.last() {
+            x2v_obs::observe("gnn/final_loss", *last);
         }
         losses
     }

@@ -167,10 +167,10 @@ mod tests {
             8,
             2,
             Activation::Tanh,
-            InitialFeatures::Random { seed: 5 },
+            InitialFeatures::Random { seed: 0 },
             6,
         );
-        let mut clf = GnnNodeClassifier::new(model, 2, 7);
+        let mut clf = GnnNodeClassifier::new(model, 2, 0);
         let labelled = [(0usize, 0usize), (33usize, 1usize)];
         let losses = clf.train(
             &g,

@@ -12,12 +12,16 @@ use x2v_graph::Graph;
 
 /// Counts homomorphisms `F → G`.
 pub fn hom_count(f: &Graph, g: &Graph) -> u128 {
+    let _timer = x2v_obs::span("hom/brute_hom_count");
     // Order F's vertices so each (after the first in its component) has a
     // predecessor among already-placed vertices — prunes early.
     let order = connectivity_order(f);
     let gbits = g.adjacency_bits();
     let mut image = vec![usize::MAX; f.order()];
-    count_rec(f, g, &gbits, &order, 0, &mut image, &mut |_| {})
+    let mut nodes = 0u64;
+    let total = count_rec(f, g, &gbits, &order, 0, &mut image, &mut |_| {}, &mut nodes);
+    x2v_obs::counter_add("hom/recursion_nodes", nodes);
+    total
 }
 
 /// Counts homomorphisms with a pinned root: `hom(F, G; r ↦ v)`.
@@ -29,15 +33,20 @@ pub fn hom_count_rooted(f: &Graph, root: usize, g: &Graph, v: usize) -> u128 {
     let gbits = g.adjacency_bits();
     let mut image = vec![usize::MAX; f.order()];
     image[root] = v;
-    count_rec(f, g, &gbits, &order, 1, &mut image, &mut |_| {})
+    let mut nodes = 0u64;
+    let total = count_rec(f, g, &gbits, &order, 1, &mut image, &mut |_| {}, &mut nodes);
+    x2v_obs::counter_add("hom/recursion_nodes", nodes);
+    total
 }
 
 /// Counts embeddings (injective homomorphisms) `emb(F, G)`.
 pub fn emb_count(f: &Graph, g: &Graph) -> u128 {
+    let _timer = x2v_obs::span("hom/brute_emb_count");
     let order = connectivity_order(f);
     let gbits = g.adjacency_bits();
     let mut image = vec![usize::MAX; f.order()];
-    count_injective(
+    let mut nodes = 0u64;
+    let total = count_injective(
         f,
         g,
         &gbits,
@@ -45,12 +54,16 @@ pub fn emb_count(f: &Graph, g: &Graph) -> u128 {
         0,
         &mut image,
         &mut vec![false; g.order()],
-    )
+        &mut nodes,
+    );
+    x2v_obs::counter_add("hom/recursion_nodes", nodes);
+    total
 }
 
 /// Counts epimorphisms `epi(F, G)`: homomorphisms surjective on vertices
 /// *and* edges (the decomposition used in the proof of Theorem 4.2).
 pub fn epi_count(f: &Graph, g: &Graph) -> u128 {
+    let _timer = x2v_obs::span("hom/brute_epi_count");
     if f.order() < g.order() || f.size() < g.size() {
         return 0;
     }
@@ -81,8 +94,10 @@ pub fn epi_count(f: &Graph, g: &Graph) -> u128 {
             total += 1;
         }
     };
-    let all = count_rec(f, g, &gbits, &order, 0, &mut image, &mut check);
+    let mut nodes = 0u64;
+    let all = count_rec(f, g, &gbits, &order, 0, &mut image, &mut check, &mut nodes);
     let _ = all;
+    x2v_obs::counter_add("hom/recursion_nodes", nodes);
     total
 }
 
@@ -92,7 +107,10 @@ pub fn for_each_hom<F: FnMut(&[usize])>(f: &Graph, g: &Graph, visit: &mut F) -> 
     let order = connectivity_order(f);
     let gbits = g.adjacency_bits();
     let mut image = vec![usize::MAX; f.order()];
-    count_rec(f, g, &gbits, &order, 0, &mut image, visit)
+    let mut nodes = 0u64;
+    let total = count_rec(f, g, &gbits, &order, 0, &mut image, visit, &mut nodes);
+    x2v_obs::counter_add("hom/recursion_nodes", nodes);
+    total
 }
 
 /// A placement order where each vertex (when possible) is adjacent to an
@@ -135,6 +153,7 @@ fn bfs_into(f: &Graph, s: usize, seen: &mut [bool], order: &mut Vec<usize>) {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn count_rec<V: FnMut(&[usize])>(
     f: &Graph,
     g: &Graph,
@@ -143,7 +162,9 @@ fn count_rec<V: FnMut(&[usize])>(
     depth: usize,
     image: &mut [usize],
     visit: &mut V,
+    nodes: &mut u64,
 ) -> u128 {
+    *nodes += 1;
     if depth == order.len() {
         visit(image);
         return 1;
@@ -162,12 +183,13 @@ fn count_rec<V: FnMut(&[usize])>(
             }
         }
         image[u] = x;
-        total += count_rec(f, g, gbits, order, depth + 1, image, visit);
+        total += count_rec(f, g, gbits, order, depth + 1, image, visit, nodes);
         image[u] = usize::MAX;
     }
     total
 }
 
+#[allow(clippy::too_many_arguments)]
 fn count_injective(
     f: &Graph,
     g: &Graph,
@@ -176,7 +198,9 @@ fn count_injective(
     depth: usize,
     image: &mut [usize],
     used: &mut Vec<bool>,
+    nodes: &mut u64,
 ) -> u128 {
+    *nodes += 1;
     if depth == order.len() {
         return 1;
     }
@@ -194,7 +218,7 @@ fn count_injective(
         }
         image[u] = x;
         used[x] = true;
-        total += count_injective(f, g, gbits, order, depth + 1, image, used);
+        total += count_injective(f, g, gbits, order, depth + 1, image, used, nodes);
         used[x] = false;
         image[u] = usize::MAX;
     }

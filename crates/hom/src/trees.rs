@@ -39,6 +39,8 @@ fn root_order(tree: &Graph, root: usize) -> (Vec<usize>, Vec<usize>) {
 /// # Panics
 /// If `tree` is not a connected tree.
 pub fn rooted_hom_counts(tree: &Graph, root: usize, g: &Graph) -> Vec<u128> {
+    let _timer = x2v_obs::span("hom/tree_dp");
+    x2v_obs::counter_add("hom/tree_dp_cells", (tree.order() * g.order()) as u64);
     let (order, parent) = root_order(tree, root);
     let n = g.order();
     // h[u][v]: homs of subtree at u mapping u to v. Process children first.

@@ -139,6 +139,7 @@ fn fill_degree(g: &Graph, eliminated: u32, v: usize) -> usize {
 /// Returns `(treewidth, elimination_order)` where eliminating in that order
 /// never creates a front larger than the treewidth.
 pub fn exact_treewidth(g: &Graph) -> (usize, Vec<usize>) {
+    let _timer = x2v_obs::span("hom/exact_treewidth");
     let n = g.order();
     assert!(n <= 24, "exact treewidth limited to 24 vertices");
     if n == 0 {

@@ -19,6 +19,7 @@ pub fn is_psd(k: &Matrix, tol: f64) -> bool {
 /// Cosine-normalises a Gram matrix: `K'_ij = K_ij / √(K_ii K_jj)`.
 /// Rows/columns with zero self-similarity are left at zero.
 pub fn normalize(k: &Matrix) -> Matrix {
+    let _timer = x2v_obs::span("kernel/normalize");
     let n = k.rows();
     let mut out = Matrix::zeros(n, n);
     for i in 0..n {
@@ -35,6 +36,7 @@ pub fn normalize(k: &Matrix) -> Matrix {
 /// Centres a Gram matrix in feature space:
 /// `K' = (I − 1/n) K (I − 1/n)` — required before kernel PCA.
 pub fn center(k: &Matrix) -> Matrix {
+    let _timer = x2v_obs::span("kernel/center");
     let n = k.rows();
     let nf = n as f64;
     let row_means: Vec<f64> = (0..n).map(|i| k.row(i).iter().sum::<f64>() / nf).collect();

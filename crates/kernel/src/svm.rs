@@ -51,6 +51,7 @@ impl KernelSvm {
     /// # Panics
     /// On shape mismatch or labels outside `{−1, +1}`.
     pub fn train(gram: &Matrix, y: &[f64], config: SvmConfig) -> Self {
+        let _timer = x2v_obs::span("svm/train");
         let n = y.len();
         assert_eq!(gram.rows(), n, "gram size mismatch");
         assert!(gram.is_square(), "gram must be square");
@@ -138,6 +139,9 @@ impl KernelSvm {
                 passes = 0;
             }
         }
+        x2v_obs::counter_add("svm/iterations", iters as u64);
+        let sv = alpha.iter().filter(|&&a| a > 1e-9).count();
+        x2v_obs::observe("svm/support_vectors", sv as f64);
         KernelSvm {
             alpha,
             bias: b,
@@ -186,6 +190,7 @@ pub struct MulticlassSvm {
 impl MulticlassSvm {
     /// Trains one binary machine per distinct class.
     pub fn train(gram: &Matrix, labels: &[usize], config: SvmConfig) -> Self {
+        let _timer = x2v_obs::span("svm/train_multiclass");
         let mut classes: Vec<usize> = labels.to_vec();
         classes.sort_unstable();
         classes.dedup();

@@ -61,9 +61,11 @@ impl GraphKernel for WlSubtreeKernel {
     }
 
     fn gram(&self, graphs: &[Graph]) -> Matrix {
+        let _timer = x2v_obs::span("kernel/gram");
         // Batch path: compute every feature vector once.
         let feats: Vec<WlFeatureVector> = graphs.iter().map(|g| self.features(g)).collect();
         let n = graphs.len();
+        x2v_obs::counter_add("kernel/gram_entries", (n * n) as u64);
         let mut m = Matrix::zeros(n, n);
         for i in 0..n {
             for j in i..n {

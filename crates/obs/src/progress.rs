@@ -1,0 +1,72 @@
+//! Progress heartbeats for long-running loops (training epochs, walk
+//! generation, solver sweeps). Events go to a pluggable handler; the
+//! default prints to stderr when `X2V_OBS` contains `progress`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::RwLock;
+
+/// One heartbeat from a long-running loop.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProgressEvent<'a> {
+    /// Loop identity, e.g. `embed/word2vec_epoch`.
+    pub name: &'a str,
+    /// Completed units (1-based when reporting finished epochs).
+    pub current: u64,
+    /// Total units, or 0 when unknown.
+    pub total: u64,
+}
+
+type Handler = Box<dyn Fn(&ProgressEvent<'_>) + Send + Sync>;
+
+static HANDLER: RwLock<Option<Handler>> = RwLock::new(None);
+static HANDLER_SET: AtomicBool = AtomicBool::new(false);
+
+/// Installs a custom progress handler (replacing any previous one); pass
+/// `None` to restore the default stderr heartbeat.
+pub fn set_progress_handler(handler: Option<Handler>) {
+    HANDLER_SET.store(handler.is_some(), Ordering::Release);
+    *HANDLER.write().unwrap_or_else(|p| p.into_inner()) = handler;
+}
+
+/// Emits a heartbeat. Near-zero cost unless a handler is installed or
+/// `X2V_OBS` contains `progress`.
+#[inline]
+pub fn progress(name: &str, current: u64, total: u64) {
+    if HANDLER_SET.load(Ordering::Acquire) {
+        let event = ProgressEvent {
+            name,
+            current,
+            total,
+        };
+        if let Some(h) = HANDLER.read().unwrap_or_else(|p| p.into_inner()).as_ref() {
+            h(&event);
+        }
+    } else if crate::progress_enabled() {
+        if total > 0 {
+            eprintln!("[x2v-obs] {name} {current}/{total}");
+        } else {
+            eprintln!("[x2v-obs] {name} {current}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn custom_handler_receives_events() {
+        let seen = Arc::new(AtomicU64::new(0));
+        let seen2 = Arc::clone(&seen);
+        set_progress_handler(Some(Box::new(move |e| {
+            seen2.fetch_add(e.current, Ordering::SeqCst);
+        })));
+        progress("test/loop", 2, 10);
+        progress("test/loop", 3, 10);
+        set_progress_handler(None);
+        progress("test/loop", 100, 100); // default handler; not counted
+        assert_eq!(seen.load(Ordering::SeqCst), 5);
+    }
+}

@@ -1,0 +1,263 @@
+//! The thread-safe metric store.
+//!
+//! One mutex guards three maps (spans, counters, histograms). Contention is
+//! acceptable because instrumented code records at *operation* granularity
+//! — a refinement run, a Gram build, a training epoch — not per node or per
+//! sample; hot loops accumulate locally and flush once.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+#[derive(Clone, Debug, Default)]
+struct SpanStat {
+    calls: u64,
+    total_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+#[derive(Clone, Debug, Default)]
+struct HistStat {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+#[derive(Default)]
+struct Inner {
+    spans: HashMap<String, SpanStat>,
+    counters: HashMap<String, u64>,
+    histograms: HashMap<String, HistStat>,
+}
+
+/// Aggregated span statistics, as exposed in snapshots and reports.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpanSnapshot {
+    /// Number of completed spans.
+    pub calls: u64,
+    /// Summed wall time in nanoseconds.
+    pub total_ns: u64,
+    /// Fastest single span in nanoseconds.
+    pub min_ns: u64,
+    /// Slowest single span in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl SpanSnapshot {
+    /// Mean nanoseconds per call.
+    pub fn mean_ns(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.calls as f64
+        }
+    }
+}
+
+/// Aggregated histogram statistics, as exposed in snapshots and reports.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HistSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl HistSnapshot {
+    /// Mean observed value.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// A standalone metric registry.
+///
+/// The crate maintains one process-global instance behind the free
+/// functions in the crate root; tests and embedded uses can create their
+/// own isolated registries.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // Metric state stays consistent even if a panicking thread held the
+        // lock mid-update (all updates are single-field writes).
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Records one completed span of `elapsed` under `name`.
+    pub fn record_span(&self, name: &str, elapsed: Duration) {
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        let mut inner = self.lock();
+        match inner.spans.get_mut(name) {
+            Some(s) => {
+                s.calls += 1;
+                s.total_ns = s.total_ns.saturating_add(ns);
+                s.min_ns = s.min_ns.min(ns);
+                s.max_ns = s.max_ns.max(ns);
+            }
+            None => {
+                inner.spans.insert(
+                    name.to_string(),
+                    SpanStat {
+                        calls: 1,
+                        total_ns: ns,
+                        min_ns: ns,
+                        max_ns: ns,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Adds `delta` to counter `name`.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        let mut inner = self.lock();
+        match inner.counters.get_mut(name) {
+            Some(c) => *c = c.saturating_add(delta),
+            None => {
+                inner.counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    /// Records one observation of `value` into histogram `name`.
+    pub fn observe(&self, name: &str, value: f64) {
+        let mut inner = self.lock();
+        match inner.histograms.get_mut(name) {
+            Some(h) => {
+                h.count += 1;
+                h.sum += value;
+                h.min = h.min.min(value);
+                h.max = h.max.max(value);
+            }
+            None => {
+                inner.histograms.insert(
+                    name.to_string(),
+                    HistStat {
+                        count: 1,
+                        sum: value,
+                        min: value,
+                        max: value,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Clears everything.
+    pub fn reset(&self) {
+        let mut inner = self.lock();
+        inner.spans.clear();
+        inner.counters.clear();
+        inner.histograms.clear();
+    }
+
+    /// Snapshots all three maps at once.
+    #[allow(clippy::type_complexity)]
+    pub fn snapshot(
+        &self,
+    ) -> (
+        Vec<(String, SpanSnapshot)>,
+        Vec<(String, u64)>,
+        Vec<(String, HistSnapshot)>,
+    ) {
+        let inner = self.lock();
+        let spans = inner
+            .spans
+            .iter()
+            .map(|(k, s)| {
+                (
+                    k.clone(),
+                    SpanSnapshot {
+                        calls: s.calls,
+                        total_ns: s.total_ns,
+                        min_ns: s.min_ns,
+                        max_ns: s.max_ns,
+                    },
+                )
+            })
+            .collect();
+        let counters = inner
+            .counters
+            .iter()
+            .map(|(k, &v)| (k.clone(), v))
+            .collect();
+        let hists = inner
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                (
+                    k.clone(),
+                    HistSnapshot {
+                        count: h.count,
+                        sum: h.sum,
+                        min: h.min,
+                        max: h.max,
+                    },
+                )
+            })
+            .collect();
+        (spans, counters, hists)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_aggregation() {
+        let r = Registry::new();
+        r.record_span("a", Duration::from_nanos(100));
+        r.record_span("a", Duration::from_nanos(300));
+        r.record_span("b", Duration::from_nanos(50));
+        let (spans, _, _) = r.snapshot();
+        let a = &spans.iter().find(|(k, _)| k == "a").unwrap().1;
+        assert_eq!(a.calls, 2);
+        assert_eq!(a.total_ns, 400);
+        assert_eq!(a.min_ns, 100);
+        assert_eq!(a.max_ns, 300);
+        assert!((a.mean_ns() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counters_saturate() {
+        let r = Registry::new();
+        r.counter_add("c", u64::MAX - 1);
+        r.counter_add("c", 5);
+        let (_, counters, _) = r.snapshot();
+        assert_eq!(counters[0].1, u64::MAX);
+    }
+
+    #[test]
+    fn histogram_tracks_extrema() {
+        let r = Registry::new();
+        for v in [4.0, -1.0, 2.5] {
+            r.observe("h", v);
+        }
+        let (_, _, hists) = r.snapshot();
+        let h = &hists[0].1;
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min, -1.0);
+        assert_eq!(h.max, 4.0);
+        assert!((h.mean() - 5.5 / 3.0).abs() < 1e-12);
+    }
+}

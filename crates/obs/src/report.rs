@@ -1,0 +1,268 @@
+//! Run reports: a sorted snapshot of the registry, a hand-rolled JSON
+//! serialiser (no serde — stable key order, deterministic output), and a
+//! human-readable table renderer.
+
+use crate::registry::{HistSnapshot, Registry, SpanSnapshot};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Identifies the report layout; bump when keys change meaning.
+pub const SCHEMA: &str = "x2v-obs/v1";
+
+/// An immutable snapshot of all metrics, keyed in sorted order.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// The run name (used for the report filename).
+    pub run: String,
+    /// Span statistics by name.
+    pub spans: BTreeMap<String, SpanSnapshot>,
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram statistics by name.
+    pub histograms: BTreeMap<String, HistSnapshot>,
+}
+
+/// Escapes `s` for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a float as a JSON number (`null` for non-finite values, which
+/// JSON cannot represent).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // Rust's shortest-roundtrip Display is valid JSON for finite floats.
+        let s = format!("{v}");
+        if s.contains(['.', 'e', 'E']) {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+fn fmt_duration_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0}ns")
+    } else if ns < 1e6 {
+        format!("{:.2}µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2}ms", ns / 1e6)
+    } else {
+        format!("{:.3}s", ns / 1e9)
+    }
+}
+
+impl Report {
+    /// Snapshots `registry` into a report named `run`.
+    pub fn from_registry(registry: &Registry, run: &str) -> Self {
+        let (spans, counters, hists) = registry.snapshot();
+        Report {
+            run: run.to_string(),
+            spans: spans.into_iter().collect(),
+            counters: counters.into_iter().collect(),
+            histograms: hists.into_iter().collect(),
+        }
+    }
+
+    /// Total number of distinct span/counter/histogram keys.
+    pub fn num_keys(&self) -> usize {
+        self.spans.len() + self.counters.len() + self.histograms.len()
+    }
+
+    /// Serialises the report as pretty-printed JSON with stable key order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"{}\",", json_escape(SCHEMA));
+        let _ = writeln!(out, "  \"run\": \"{}\",", json_escape(&self.run));
+
+        out.push_str("  \"spans\": {");
+        let mut first = true;
+        for (name, s) in &self.spans {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\n    \"{}\": {{\"calls\": {}, \"total_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"mean_ns\": {}}}",
+                json_escape(name),
+                s.calls,
+                s.total_ns,
+                s.min_ns,
+                s.max_ns,
+                json_f64(s.mean_ns()),
+            );
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+
+        out.push_str("  \"counters\": {");
+        let mut first = true;
+        for (name, v) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\n    \"{}\": {}", json_escape(name), v);
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+
+        out.push_str("  \"histograms\": {");
+        let mut first = true;
+        for (name, h) in &self.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {}}}",
+                json_escape(name),
+                h.count,
+                json_f64(h.sum),
+                json_f64(h.min),
+                json_f64(h.max),
+                json_f64(h.mean()),
+            );
+        }
+        out.push_str(if first { "}\n" } else { "\n  }\n" });
+        out.push_str("}\n");
+        out
+    }
+
+    /// Renders the human-readable table: spans sorted by total time
+    /// descending, then counters and histograms alphabetically.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== x2v-obs run report: {} ==", self.run);
+        if !self.spans.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<36} {:>9} {:>11} {:>11} {:>11} {:>11}",
+                "span", "calls", "total", "mean", "min", "max"
+            );
+            let mut spans: Vec<_> = self.spans.iter().collect();
+            spans.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then(a.0.cmp(b.0)));
+            for (name, s) in spans {
+                let _ = writeln!(
+                    out,
+                    "{:<36} {:>9} {:>11} {:>11} {:>11} {:>11}",
+                    name,
+                    s.calls,
+                    fmt_duration_ns(s.total_ns as f64),
+                    fmt_duration_ns(s.mean_ns()),
+                    fmt_duration_ns(s.min_ns as f64),
+                    fmt_duration_ns(s.max_ns as f64),
+                );
+            }
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "{:<36} {:>9}", "counter", "value");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "{name:<36} {v:>9}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<36} {:>9} {:>11} {:>11} {:>11}",
+                "histogram", "count", "mean", "min", "max"
+            );
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "{:<36} {:>9} {:>11.3} {:>11.3} {:>11.3}",
+                    name,
+                    h.count,
+                    h.mean(),
+                    h.min,
+                    h.max,
+                );
+            }
+        }
+        out
+    }
+
+    /// Writes the JSON report to `<dir>/<run>.json` where `<dir>` is
+    /// `$X2V_OBS_DIR` or `target/obs`. Creates the directory; sanitises the
+    /// run name into a safe filename. Returns the path written.
+    pub fn write_json_file(&self) -> std::io::Result<PathBuf> {
+        let dir = std::env::var("X2V_OBS_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("target").join("obs"));
+        std::fs::create_dir_all(&dir)?;
+        let safe: String = self
+            .run
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        let path = dir.join(format!("{safe}.json"));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn floats_are_valid_json() {
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(2.0), "2.0");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn empty_report_shape() {
+        let reg = Registry::new();
+        let json = Report::from_registry(&reg, "empty").to_json();
+        assert!(json.contains("\"spans\": {}"));
+        assert!(json.contains("\"counters\": {}"));
+        assert!(json.contains("\"histograms\": {}"));
+    }
+
+    #[test]
+    fn table_lists_all_sections() {
+        let reg = Registry::new();
+        reg.record_span("s", Duration::from_micros(3));
+        reg.counter_add("c", 7);
+        reg.observe("h", 2.0);
+        let table = Report::from_registry(&reg, "t").render_table();
+        assert!(table.contains("s"), "{table}");
+        assert!(table.contains('7'), "{table}");
+        assert!(table.contains("2.000"), "{table}");
+    }
+}

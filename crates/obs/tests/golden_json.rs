@@ -1,0 +1,57 @@
+//! Golden test pinning the JSON report format: stable key order, schema
+//! tag, and the exact number formatting rules of the hand-rolled encoder.
+
+use std::time::Duration;
+use x2v_obs::{Registry, Report};
+
+#[test]
+fn report_json_matches_golden() {
+    let registry = Registry::new();
+    // Spans are recorded from explicit durations, so the report is fully
+    // deterministic.
+    registry.record_span("wl/refine", Duration::from_nanos(1500));
+    registry.record_span("wl/refine", Duration::from_nanos(500));
+    registry.record_span("kernel/gram", Duration::from_nanos(3000));
+    registry.counter_add("hom/recursion_nodes", 42);
+    registry.counter_add("embed/negative_samples", 9001);
+    registry.observe("wl/rounds_to_stability", 3.0);
+    registry.observe("wl/rounds_to_stability", 5.0);
+    registry.observe("svm/support_vectors", 12.5);
+
+    let report = Report::from_registry(&registry, "golden");
+    let golden = r#"{
+  "schema": "x2v-obs/v1",
+  "run": "golden",
+  "spans": {
+    "kernel/gram": {"calls": 1, "total_ns": 3000, "min_ns": 3000, "max_ns": 3000, "mean_ns": 3000.0},
+    "wl/refine": {"calls": 2, "total_ns": 2000, "min_ns": 500, "max_ns": 1500, "mean_ns": 1000.0}
+  },
+  "counters": {
+    "embed/negative_samples": 9001,
+    "hom/recursion_nodes": 42
+  },
+  "histograms": {
+    "svm/support_vectors": {"count": 1, "sum": 12.5, "min": 12.5, "max": 12.5, "mean": 12.5},
+    "wl/rounds_to_stability": {"count": 2, "sum": 8.0, "min": 3.0, "max": 5.0, "mean": 4.0}
+  }
+}
+"#;
+    assert_eq!(report.to_json(), golden);
+}
+
+#[test]
+fn empty_report_is_valid_and_stable() {
+    let registry = Registry::new();
+    let report = Report::from_registry(&registry, "empty");
+    let golden = "{\n  \"schema\": \"x2v-obs/v1\",\n  \"run\": \"empty\",\n  \"spans\": {},\n  \"counters\": {},\n  \"histograms\": {}\n}\n";
+    assert_eq!(report.to_json(), golden);
+    assert_eq!(report.num_keys(), 0);
+}
+
+#[test]
+fn json_escaping_in_run_names() {
+    let registry = Registry::new();
+    let report = Report::from_registry(&registry, "quote\"back\\slash\nnewline");
+    let json = report.to_json();
+    assert!(json.contains(r#""run": "quote\"back\\slash\nnewline""#));
+}

@@ -1,0 +1,98 @@
+//! Multi-threaded stress test: 8 threads hammering one registry must lose
+//! no events and corrupt no aggregates.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+use x2v_obs::Registry;
+
+const THREADS: usize = 8;
+const ITERS: u64 = 10_000;
+
+#[test]
+fn eight_threads_no_lost_updates() {
+    let registry = Arc::new(Registry::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let r = Arc::clone(&registry);
+            thread::spawn(move || {
+                for i in 0..ITERS {
+                    r.counter_add("shared", 1);
+                    r.counter_add("per-thread", t as u64);
+                    r.record_span("work", Duration::from_nanos(100 + i % 7));
+                    r.observe("values", (i % 10) as f64);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+
+    let (spans, counters, hists) = registry.snapshot();
+
+    let shared = counters
+        .iter()
+        .find(|(k, _)| k == "shared")
+        .map(|(_, v)| *v)
+        .expect("shared counter present");
+    assert_eq!(shared, THREADS as u64 * ITERS);
+
+    let per_thread = counters
+        .iter()
+        .find(|(k, _)| k == "per-thread")
+        .map(|(_, v)| *v)
+        .expect("per-thread counter present");
+    // Σ_t t·ITERS = ITERS · THREADS(THREADS−1)/2.
+    assert_eq!(per_thread, ITERS * (THREADS * (THREADS - 1) / 2) as u64);
+
+    let work = spans
+        .iter()
+        .find(|(k, _)| k == "work")
+        .map(|(_, s)| *s)
+        .expect("work span present");
+    assert_eq!(work.calls, THREADS as u64 * ITERS);
+    assert!(work.min_ns >= 100 && work.max_ns <= 106);
+    assert_eq!(
+        work.total_ns,
+        (0..ITERS).map(|i| 100 + i % 7).sum::<u64>() * THREADS as u64
+    );
+
+    let values = hists
+        .iter()
+        .find(|(k, _)| k == "values")
+        .map(|(_, h)| *h)
+        .expect("values histogram present");
+    assert_eq!(values.count, THREADS as u64 * ITERS);
+    assert_eq!(values.min, 0.0);
+    assert_eq!(values.max, 9.0);
+    assert!((values.mean() - 4.5).abs() < 1e-9);
+}
+
+#[test]
+fn concurrent_reset_does_not_poison() {
+    // Interleave writers with resets; final state must still be usable.
+    let registry = Arc::new(Registry::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let r = Arc::clone(&registry);
+            thread::spawn(move || {
+                for i in 0..1_000u64 {
+                    if t == 0 && i % 100 == 0 {
+                        r.reset();
+                    } else {
+                        r.counter_add("c", 1);
+                        r.observe("h", i as f64);
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+    registry.counter_add("after", 7);
+    let (_, counters, _) = registry.snapshot();
+    let after = counters.iter().find(|(k, _)| k == "after").map(|(_, v)| *v);
+    assert_eq!(after, Some(7));
+}

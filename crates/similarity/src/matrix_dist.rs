@@ -30,6 +30,7 @@ pub enum GraphNorm {
 /// # Panics
 /// If orders differ (use [`crate::blowup`] first) or order exceeds 10.
 pub fn dist_exact(g: &Graph, h: &Graph, norm: GraphNorm) -> f64 {
+    let _timer = x2v_obs::span("similarity/dist_exact");
     assert_eq!(g.order(), h.order(), "blow up to equal orders first");
     let n = g.order();
     assert!(n <= 10, "exact distance limited to order 10");

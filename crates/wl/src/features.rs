@@ -24,6 +24,7 @@ impl WlFeatureVector {
     /// the given refiner. Using one refiner for a whole dataset makes all
     /// vectors live in the same feature space.
     pub fn compute(refiner: &mut Refiner, g: &Graph, t: usize) -> Self {
+        let _timer = x2v_obs::span("wl/feature_vector");
         let history = refiner.refine_rounds(g, t);
         let rounds = (0..=t).map(|i| history.histogram(i)).collect();
         WlFeatureVector { rounds }

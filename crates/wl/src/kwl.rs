@@ -152,8 +152,10 @@ impl KwlRefiner {
 
     /// Runs k-WL on `g` to stability.
     pub fn run(&mut self, g: &Graph) -> KwlColouring {
+        let _timer = x2v_obs::span("wl/kwl_run");
         let n = g.order();
         let mut colours = self.atomic_colours(g);
+        x2v_obs::counter_add("wl/kwl_tuples", colours.len() as u64);
         let mut classes = distinct(&colours);
         let mut rounds = 0;
         loop {
@@ -166,6 +168,7 @@ impl KwlRefiner {
             classes = next_classes;
             rounds += 1;
         }
+        x2v_obs::observe("wl/kwl_rounds_to_stability", rounds as f64);
         KwlColouring {
             colours,
             rounds,

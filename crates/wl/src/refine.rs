@@ -107,6 +107,7 @@ impl Refiner {
     }
 
     fn refine_once(&mut self, g: &Graph, prev: &[Colour]) -> Vec<Colour> {
+        x2v_obs::counter_add("wl/refine_rounds_total", 1);
         let mut sig = Vec::new();
         (0..g.order())
             .map(|v| {
@@ -126,6 +127,7 @@ impl Refiner {
     /// along the way but refinement continues to the requested round — this
     /// matters when comparing two graphs that stabilise at different times.
     pub fn refine_rounds(&mut self, g: &Graph, rounds: usize) -> WlHistory {
+        let _timer = x2v_obs::span("wl/refine_rounds");
         let mut history = vec![self.initial_colours(g.labels())];
         let mut stable_round = None;
         let mut prev_classes = count_distinct(&history[0]);
@@ -147,6 +149,7 @@ impl Refiner {
     /// Refines until the partition stabilises (at most `n` rounds are ever
     /// needed; the returned history ends at the stable round).
     pub fn refine_to_stable(&mut self, g: &Graph) -> WlHistory {
+        let _timer = x2v_obs::span("wl/refine_to_stable");
         let n = g.order();
         let mut history = vec![self.initial_colours(g.labels())];
         let mut prev_classes = count_distinct(&history[0]);
@@ -155,6 +158,8 @@ impl Refiner {
             let classes = count_distinct(&next);
             history.push(next);
             if classes == prev_classes {
+                x2v_obs::observe("wl/rounds_to_stability", t as f64);
+                x2v_obs::observe("wl/colour_classes", classes as f64);
                 return WlHistory {
                     stable_round: t,
                     rounds: history,
@@ -175,6 +180,7 @@ impl Refiner {
     /// regular graphs of different degree are each stable at round 0 but
     /// split at round 1 of the joint refinement).
     pub fn joint_stable_colours(&mut self, g: &Graph, h: &Graph) -> (Vec<Colour>, Vec<Colour>) {
+        let _timer = x2v_obs::span("wl/joint_stable_colours");
         let mut cg = self.initial_colours(g.labels());
         let mut ch = self.initial_colours(h.labels());
         let mut classes = joint_distinct(&cg, &ch);

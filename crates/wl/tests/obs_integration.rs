@@ -1,0 +1,65 @@
+//! End-to-end check that the WL hot path feeds the x2v-obs registry: an
+//! instrumented `refine_to_stable` run must surface rounds-to-stability and
+//! colour-class metrics plus the span timer.
+//!
+//! One test function: the obs registry is process-global and the harness
+//! runs `#[test]`s concurrently, so the enabled/disabled phases must be
+//! sequenced explicitly.
+
+use x2v_graph::generators::{cycle, path};
+use x2v_graph::ops::disjoint_union;
+use x2v_wl::Refiner;
+
+#[test]
+fn refine_to_stable_records_metrics() {
+    // Phase 1: disabled collection stays silent.
+    x2v_obs::set_enabled(false);
+    x2v_obs::reset();
+    {
+        let _timer = x2v_obs::span("wl/test_disabled_span");
+        x2v_obs::counter_add("wl/test_disabled_counter", 1);
+    }
+    let (spans, counters, _) = x2v_obs::global().snapshot();
+    assert!(!spans.iter().any(|(k, _)| k == "wl/test_disabled_span"));
+    assert!(!counters
+        .iter()
+        .any(|(k, _)| k == "wl/test_disabled_counter"));
+
+    // Phase 2: an enabled refine_to_stable run records its metrics.
+    x2v_obs::set_enabled(true);
+    let g = disjoint_union(&path(6), &cycle(5));
+    let mut refiner = Refiner::new();
+    let history = refiner.refine_to_stable(&g);
+    assert!(history.num_rounds() >= 1);
+    x2v_obs::set_enabled(false);
+
+    let (spans, counters, hists) = x2v_obs::global().snapshot();
+
+    let rounds = hists
+        .iter()
+        .find(|(k, _)| k == "wl/rounds_to_stability")
+        .map(|(_, h)| *h)
+        .expect("refine_to_stable must record wl/rounds_to_stability");
+    assert_eq!(rounds.count, 1);
+    assert!(rounds.min >= 1.0, "stability takes at least one round");
+
+    assert!(
+        hists.iter().any(|(k, _)| k == "wl/colour_classes"),
+        "stable colour-class count must be recorded"
+    );
+
+    let span = spans
+        .iter()
+        .find(|(k, _)| k == "wl/refine_to_stable")
+        .map(|(_, s)| *s)
+        .expect("refine_to_stable must be timed");
+    assert_eq!(span.calls, 1);
+    assert!(span.total_ns > 0);
+
+    let refine_rounds = counters
+        .iter()
+        .find(|(k, _)| k == "wl/refine_rounds_total")
+        .map(|(_, v)| *v)
+        .expect("per-round counter must be present");
+    assert!(refine_rounds as usize + 1 >= history.num_rounds());
+}

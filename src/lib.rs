@@ -21,5 +21,6 @@ pub use x2v_hom as hom;
 pub use x2v_kernel as kernel;
 pub use x2v_linalg as linalg;
 pub use x2v_logic as logic;
+pub use x2v_obs as obs;
 pub use x2v_similarity as similarity;
 pub use x2v_wl as wl;
