@@ -15,6 +15,14 @@ pub mod harness;
 /// the collected spans/counters/histograms are written as a JSON report
 /// and/or printed as a table, according to the `X2V_OBS` environment
 /// variable (no-op when observability is off).
+///
+/// Creating the guard also arms the workspace-wide budget escape hatch:
+/// a `--budget-ms N` argument (or the `X2V_BUDGET_MS` environment
+/// variable; the argument wins) installs an ambient [`x2v_guard::Budget`]
+/// wall-clock deadline, so every `exp_*` binary can be bounded without
+/// per-binary plumbing. A budget trip panics with the typed diagnostic;
+/// the panic unwinds through `main`, so this guard still drops and the
+/// partial obs report — including the `guard/*` counters — is written.
 pub struct ObsRun {
     run: &'static str,
 }
@@ -22,6 +30,10 @@ pub struct ObsRun {
 impl ObsRun {
     /// Guard for the run named `run` (conventionally the binary name).
     pub fn new(run: &'static str) -> Self {
+        if let Some(ms) = budget_ms_from(std::env::args(), |k| std::env::var(k).ok()) {
+            x2v_guard::install_ambient(x2v_guard::Budget::unlimited().with_deadline_ms(ms));
+            eprintln!("[{run}] ambient budget installed: {ms} ms wall clock");
+        }
         ObsRun { run }
     }
 }
@@ -29,5 +41,59 @@ impl ObsRun {
 impl Drop for ObsRun {
     fn drop(&mut self) {
         x2v_obs::finish(self.run);
+    }
+}
+
+/// Resolves the budget escape hatch: `--budget-ms N` (also `--budget-ms=N`)
+/// beats `X2V_BUDGET_MS=N`; absent or unparsable means no budget.
+fn budget_ms_from(
+    args: impl IntoIterator<Item = String>,
+    env: impl Fn(&str) -> Option<String>,
+) -> Option<u64> {
+    let mut args = args.into_iter();
+    while let Some(a) = args.next() {
+        if a == "--budget-ms" {
+            return args.next().and_then(|v| v.parse().ok());
+        }
+        if let Some(v) = a.strip_prefix("--budget-ms=") {
+            return v.parse().ok();
+        }
+    }
+    env("X2V_BUDGET_MS").and_then(|v| v.parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::budget_ms_from;
+
+    fn no_env(_: &str) -> Option<String> {
+        None
+    }
+
+    #[test]
+    fn flag_forms_parse() {
+        let argv = |s: &[&str]| s.iter().map(|a| a.to_string()).collect::<Vec<_>>();
+        assert_eq!(
+            budget_ms_from(argv(&["exp", "--budget-ms", "250"]), no_env),
+            Some(250)
+        );
+        assert_eq!(
+            budget_ms_from(argv(&["exp", "--budget-ms=90"]), no_env),
+            Some(90)
+        );
+        assert_eq!(budget_ms_from(argv(&["exp"]), no_env), None);
+        assert_eq!(budget_ms_from(argv(&["exp", "--budget-ms"]), no_env), None);
+    }
+
+    #[test]
+    fn env_is_fallback_only() {
+        let argv = vec![
+            "exp".to_string(),
+            "--budget-ms".to_string(),
+            "7".to_string(),
+        ];
+        let env = |k: &str| (k == "X2V_BUDGET_MS").then(|| "99".to_string());
+        assert_eq!(budget_ms_from(argv, env), Some(7));
+        assert_eq!(budget_ms_from(vec!["exp".to_string()], env), Some(99));
     }
 }

@@ -50,8 +50,17 @@ pub struct Word2Vec {
     vocab: usize,
 }
 
+/// The guarded-site name for SGNS training.
+pub const SITE: &str = "embed/word2vec";
+
 impl Word2Vec {
     /// Trains on a corpus of token-id sentences over `vocab` tokens.
+    ///
+    /// SGD is an anytime algorithm, so the ambient [`x2v_guard::Budget`]
+    /// degrades gracefully here instead of failing: the epoch loop checks
+    /// the budget cooperatively between epochs and, on a trip, returns the
+    /// vectors trained so far (recording `guard/degraded` and stopping
+    /// early) rather than panicking.
     ///
     /// # Panics
     /// If any token id is `≥ vocab` or the corpus is empty.
@@ -82,7 +91,21 @@ impl Word2Vec {
         // Negative-sample draws accumulate locally; the registry lock is
         // taken once at the end, not inside the SGD loop.
         let mut neg_draws = 0u64;
+        let budget = x2v_guard::ambient();
+        let mut meter = budget.meter(SITE);
         for epoch in 0..config.epochs {
+            // Cooperative budget check between epochs (one work unit per
+            // token trained): a trip stops early with the vectors learnt
+            // so far — a usable partial embedding — instead of panicking.
+            if meter
+                .tick(total_tokens as u64)
+                .and_then(|()| meter.checkpoint())
+                .is_err()
+            {
+                x2v_guard::note_degraded();
+                x2v_obs::counter_add("embed/epochs_skipped", (config.epochs - epoch) as u64);
+                break;
+            }
             x2v_obs::progress(
                 "embed/word2vec_epochs",
                 (epoch + 1) as u64,

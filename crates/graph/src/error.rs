@@ -32,6 +32,9 @@ pub enum GraphError {
     },
     /// Textual input could not be parsed.
     Parse(String),
+    /// An operation received an argument outside its domain (e.g. a
+    /// non-permutation relabelling or a zero blow-up factor).
+    InvalidArgument(String),
 }
 
 impl fmt::Display for GraphError {
@@ -61,8 +64,18 @@ impl fmt::Display for GraphError {
                 )
             }
             GraphError::Parse(msg) => write!(f, "parse error: {msg}"),
+            GraphError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }
     }
 }
 
 impl std::error::Error for GraphError {}
+
+/// Every graph-construction failure is an invalid input from the guard
+/// layer's point of view, so callers holding a `x2v_guard::Result` can use
+/// `?` on graph builders directly.
+impl From<GraphError> for x2v_guard::GuardError {
+    fn from(e: GraphError) -> Self {
+        x2v_guard::GuardError::invalid_input("graph", e.to_string())
+    }
+}

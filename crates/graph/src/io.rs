@@ -32,9 +32,17 @@ pub fn to_text(g: &Graph) -> String {
 
 /// Parses a graph from the text format.
 ///
+/// Hardened against adversarial input: a header edge count larger than a
+/// simple graph of the declared order can hold is rejected *before* any
+/// allocation sized from it, edge lines with trailing tokens or indices
+/// `>= n` are rejected with the offending line quoted, and duplicate
+/// `labels` lines are an error rather than a silent overwrite. Blank lines
+/// are ignored everywhere.
+///
 /// # Errors
 /// Returns [`GraphError::Parse`] on malformed input and the usual builder
-/// errors on invalid edges.
+/// errors ([`GraphError::DuplicateEdge`], [`GraphError::SelfLoop`],
+/// [`GraphError::LabelLengthMismatch`]) on invalid edges or labels.
 pub fn from_text(text: &str) -> Result<Graph> {
     let mut lines = text.lines().filter(|l| !l.trim().is_empty());
     let header = lines
@@ -49,15 +57,43 @@ pub fn from_text(text: &str) -> Result<Graph> {
         .next()
         .and_then(|t| t.parse().ok())
         .ok_or_else(|| GraphError::Parse(format!("bad header: {header:?}")))?;
-    let mut edges = Vec::with_capacity(m);
+    if parts.next().is_some() {
+        return Err(GraphError::Parse(format!(
+            "trailing tokens in header: {header:?}"
+        )));
+    }
+    // A simple graph on n nodes has at most n(n−1)/2 edges; a header
+    // promising more is hostile or corrupt. Checking this BEFORE
+    // `with_capacity(m)` also stops a forged count like `0 u64::MAX` from
+    // aborting the process with an out-of-memory allocation.
+    let max_edges = n.checked_mul(n.saturating_sub(1)).map(|x| x / 2);
+    if max_edges.is_none_or(|max| m > max) {
+        return Err(GraphError::Parse(format!(
+            "header promises {m} edges, but a simple graph of order {n} holds at most {}",
+            max_edges.map_or_else(|| "n(n-1)/2".to_string(), |max| max.to_string())
+        )));
+    }
+    // Cap the preallocation: `m` is still untrusted (a huge order makes a
+    // huge count combinatorially plausible), so size from the header only
+    // up to a modest bound and let pushes — bounded by the real input
+    // length — grow the vector beyond it.
+    let mut edges = Vec::with_capacity(m.min(1 << 16));
     let mut labels: Option<Vec<u32>> = None;
     for line in lines {
         let line = line.trim();
         if let Some(rest) = line.strip_prefix("labels") {
+            if labels.is_some() {
+                return Err(GraphError::Parse("duplicate labels line".into()));
+            }
             let ls: std::result::Result<Vec<u32>, _> =
                 rest.split_whitespace().map(str::parse).collect();
             labels = Some(ls.map_err(|e| GraphError::Parse(format!("bad labels: {e}")))?);
             continue;
+        }
+        if labels.is_some() {
+            return Err(GraphError::Parse(format!(
+                "edge line after labels line: {line:?}"
+            )));
         }
         let mut it = line.split_whitespace();
         let u: usize = it
@@ -68,6 +104,22 @@ pub fn from_text(text: &str) -> Result<Graph> {
             .next()
             .and_then(|t| t.parse().ok())
             .ok_or_else(|| GraphError::Parse(format!("bad edge line: {line:?}")))?;
+        if it.next().is_some() {
+            return Err(GraphError::Parse(format!(
+                "trailing tokens on edge line: {line:?}"
+            )));
+        }
+        if u >= n || v >= n {
+            return Err(GraphError::NodeOutOfRange {
+                node: u.max(v),
+                order: n,
+            });
+        }
+        if edges.len() == m {
+            return Err(GraphError::Parse(format!(
+                "header promised {m} edges, found more"
+            )));
+        }
         edges.push((u, v));
     }
     if edges.len() != m {
@@ -111,5 +163,59 @@ mod tests {
         assert!(from_text("2 1\n0").is_err());
         assert!(from_text("2 2\n0 1").is_err());
         assert!(from_text("2 1\n0 9").is_err());
+    }
+
+    #[test]
+    fn tolerates_blank_lines_everywhere() {
+        let g = from_text("\n3 2\n\n0 1\n\n1 2\n\nlabels 1 2 3\n\n").unwrap();
+        assert_eq!(g.order(), 3);
+        assert_eq!(g.size(), 2);
+        assert_eq!(g.labels(), &[1, 2, 3]);
+    }
+
+    /// Adversarial-input table: every row must be rejected with a typed
+    /// error, never a panic or an allocation sized from hostile counts.
+    #[test]
+    fn adversarial_inputs_rejected() {
+        let cases: &[(&str, &str)] = &[
+            ("2 1 7\n0 1", "trailing header token"),
+            ("3 99\n0 1", "edge count beyond n(n-1)/2"),
+            ("0 18446744073709551615\n", "overflowing edge count"),
+            ("4294967295 4294967295\n", "huge plausible count, no edges"),
+            ("2 1\n0 1 5", "trailing edge-line token"),
+            ("2 1\n0 2", "endpoint out of range"),
+            ("2 1\n1 1", "self-loop"),
+            ("3 2\n0 1\n0 1", "duplicate edge"),
+            ("3 2\n0 1\n1 0", "duplicate edge, reversed"),
+            ("2 1\n0 1\n0 1\n1 0", "more edges than promised"),
+            ("2 1\n0 1\nlabels 0", "label count below order"),
+            ("2 1\n0 1\nlabels 0 1 2", "label count above order"),
+            ("2 1\n0 1\nlabels 0 1\nlabels 1 0", "duplicate labels line"),
+            ("2 1\nlabels 0 1\n0 1", "edge after labels line"),
+            ("2 1\n0 1\nlabels x y", "non-numeric labels"),
+            ("2 1\n-1 1", "negative endpoint"),
+        ];
+        for (input, why) in cases {
+            let got = from_text(input);
+            assert!(got.is_err(), "{why}: {input:?} parsed to {got:?}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_edge_is_typed() {
+        match from_text("2 1\n0 9") {
+            Err(GraphError::NodeOutOfRange { node: 9, order: 2 }) => {}
+            other => panic!("expected NodeOutOfRange, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn graph_errors_convert_to_guard_invalid_input() {
+        let e = from_text("2 1\n1 1").unwrap_err();
+        let g: x2v_guard::GuardError = e.into();
+        assert!(
+            matches!(g, x2v_guard::GuardError::InvalidInput { .. }),
+            "{g}"
+        );
     }
 }

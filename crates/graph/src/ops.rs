@@ -1,7 +1,13 @@
 //! Graph operations: disjoint union, complement, permutation, subgraphs,
 //! line graphs, and the blow-up used by Section 5's distance measures.
+//!
+//! Operations whose arguments come from untrusted callers have fallible
+//! `try_*` variants returning [`GraphError::InvalidArgument`]; the plain
+//! forms panic on the same violations. Internal `expect`s are reserved for
+//! genuine invariants (edges re-inserted from an already-validated
+//! [`Graph`] cannot fail the builder).
 
-use crate::{Graph, GraphBuilder};
+use crate::{Graph, GraphBuilder, GraphError, Result};
 
 /// Disjoint union `G ∪ H`. Nodes of `h` are shifted by `g.order()`.
 pub fn disjoint_union(g: &Graph, h: &Graph) -> Graph {
@@ -54,36 +60,96 @@ pub fn complement(g: &Graph) -> Graph {
 ///
 /// The result is isomorphic to `g`; this is the workhorse for
 /// isomorphism-invariance property tests.
+///
+/// # Panics
+/// If `perm` is not a permutation of `0..g.order()` — see [`try_permute`]
+/// for the typed-error variant.
 pub fn permute(g: &Graph, perm: &[usize]) -> Graph {
-    assert_eq!(perm.len(), g.order(), "permutation length must equal order");
+    try_permute(g, perm).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`permute`] with argument violations surfaced as typed errors.
+///
+/// # Errors
+/// [`GraphError::InvalidArgument`] when `perm` has the wrong length,
+/// contains an out-of-range image, or repeats one.
+pub fn try_permute(g: &Graph, perm: &[usize]) -> Result<Graph> {
+    if perm.len() != g.order() {
+        return Err(GraphError::InvalidArgument(format!(
+            "not a permutation: length {} for a graph of order {}",
+            perm.len(),
+            g.order()
+        )));
+    }
     let mut seen = vec![false; g.order()];
-    for &p in perm {
-        assert!(p < g.order() && !seen[p], "not a permutation");
+    for (v, &p) in perm.iter().enumerate() {
+        if p >= g.order() || seen[p] {
+            return Err(GraphError::InvalidArgument(format!(
+                "not a permutation: perm[{v}] = {p} is {}",
+                if p >= g.order() {
+                    "out of range"
+                } else {
+                    "repeated"
+                }
+            )));
+        }
         seen[p] = true;
     }
     let mut b = GraphBuilder::new(g.order());
     for (u, v) in g.edges() {
+        // Invariant: a bijective relabelling of a simple graph is simple.
         b.add_edge(perm[u], perm[v]).expect("permuted simple graph");
     }
     for (v, &l) in g.labels().iter().enumerate() {
-        b.set_label(perm[v], l).expect("in range");
+        b.set_label(perm[v], l)
+            .expect("permutation image is in range");
     }
-    b.build()
+    Ok(b.build())
 }
 
 /// The subgraph induced by `nodes` (which must be distinct). Node `i` of the
 /// result corresponds to `nodes[i]`.
+///
+/// # Panics
+/// On out-of-range or repeated nodes — see [`try_induced_subgraph`] for
+/// the typed-error variant.
 pub fn induced_subgraph(g: &Graph, nodes: &[usize]) -> Graph {
+    try_induced_subgraph(g, nodes).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`induced_subgraph`] with argument violations surfaced as typed errors.
+///
+/// # Errors
+/// [`GraphError::InvalidArgument`] when `nodes` contains an index
+/// `>= g.order()` or the same index twice.
+pub fn try_induced_subgraph(g: &Graph, nodes: &[usize]) -> Result<Graph> {
+    let mut seen = vec![false; g.order()];
+    for &u in nodes {
+        if u >= g.order() {
+            return Err(GraphError::InvalidArgument(format!(
+                "induced-subgraph node {u} out of range for order {}",
+                g.order()
+            )));
+        }
+        if seen[u] {
+            return Err(GraphError::InvalidArgument(format!(
+                "induced-subgraph node {u} repeated"
+            )));
+        }
+        seen[u] = true;
+    }
     let mut b = GraphBuilder::new(nodes.len());
     for (i, &u) in nodes.iter().enumerate() {
-        b.set_label(i, g.label(u)).expect("in range");
+        b.set_label(i, g.label(u))
+            .expect("node index validated above");
         for (j, &v) in nodes.iter().enumerate().skip(i + 1) {
             if g.has_edge(u, v) {
+                // Invariant: distinct (i, j) pairs are visited once each.
                 b.add_edge(i, j).expect("induced simple graph");
             }
         }
     }
-    b.build()
+    Ok(b.build())
 }
 
 /// The line graph `L(G)`: one node per edge of `G`, adjacent iff the edges
@@ -106,23 +172,45 @@ pub fn line_graph(g: &Graph) -> Graph {
 /// The `k`-fold blow-up: every node becomes an independent set of `k` copies,
 /// every edge a complete bipartite bundle. Used to compare graphs of
 /// different orders via the least common multiple (Section 5.1, after [67]).
+///
+/// # Panics
+/// If `k == 0` or `g.order() * k` overflows — see [`try_blow_up`] for the
+/// typed-error variant.
 pub fn blow_up(g: &Graph, k: usize) -> Graph {
-    assert!(k >= 1, "blow-up factor must be positive");
+    try_blow_up(g, k).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`blow_up`] with argument violations surfaced as typed errors.
+///
+/// # Errors
+/// [`GraphError::InvalidArgument`] when `k == 0` (the blow-up factor must
+/// be positive) or the blown-up order `g.order() * k` overflows `usize`.
+pub fn try_blow_up(g: &Graph, k: usize) -> Result<Graph> {
+    if k == 0 {
+        return Err(GraphError::InvalidArgument(
+            "blow-up factor must be positive".into(),
+        ));
+    }
     let n = g.order();
-    let mut b = GraphBuilder::new(n * k);
+    let blown = n
+        .checked_mul(k)
+        .ok_or_else(|| GraphError::InvalidArgument(format!("blow-up order {n} * {k} overflows")))?;
+    let mut b = GraphBuilder::new(blown);
     for (u, v) in g.edges() {
         for i in 0..k {
             for j in 0..k {
+                // Invariant: copies of distinct endpoints never coincide.
                 b.add_edge(u * k + i, v * k + j).expect("fresh edge");
             }
         }
     }
     for v in 0..n {
         for i in 0..k {
-            b.set_label(v * k + i, g.label(v)).expect("in range");
+            b.set_label(v * k + i, g.label(v))
+                .expect("copy index is in range");
         }
     }
-    b.build()
+    Ok(b.build())
 }
 
 /// Splits a graph into its connected components (as induced subgraphs, each
@@ -213,6 +301,39 @@ mod tests {
         let b = blow_up(&e, 3);
         assert_eq!(b.order(), 6);
         assert_eq!(b.size(), 9);
+    }
+
+    #[test]
+    fn try_variants_reject_bad_arguments() {
+        let g = generators::path(3);
+        for (got, why) in [
+            (try_permute(&g, &[0, 1]), "short permutation"),
+            (try_permute(&g, &[0, 1, 3]), "out-of-range image"),
+            (try_permute(&g, &[0, 0, 1]), "repeated image"),
+            (try_induced_subgraph(&g, &[0, 5]), "node out of range"),
+            (try_induced_subgraph(&g, &[1, 1]), "node repeated"),
+            (try_blow_up(&g, 0), "zero blow-up factor"),
+            (try_blow_up(&g, usize::MAX / 2), "overflowing blow-up"),
+        ] {
+            match got {
+                Err(crate::GraphError::InvalidArgument(_)) => {}
+                other => panic!("{why}: expected InvalidArgument, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn try_variants_match_infallible_on_valid_input() {
+        let g = generators::cycle(4);
+        assert_eq!(
+            try_permute(&g, &[1, 2, 3, 0]).unwrap(),
+            permute(&g, &[1, 2, 3, 0])
+        );
+        assert_eq!(
+            try_induced_subgraph(&g, &[0, 1, 2]).unwrap(),
+            induced_subgraph(&g, &[0, 1, 2])
+        );
+        assert_eq!(try_blow_up(&g, 2).unwrap(), blow_up(&g, 2));
     }
 }
 

@@ -1,0 +1,153 @@
+//! The workspace-wide typed error for guarded computations.
+
+use std::fmt;
+
+/// Why a guarded computation stopped short of a full exact answer.
+///
+/// Every fallible `try_*` hot-path API in the workspace returns this enum,
+/// so callers can match on the *kind* of failure (resource exhaustion,
+/// cooperative cancellation, algorithmic non-convergence, bad input,
+/// numeric breakdown) instead of parsing panic strings.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GuardError {
+    /// The work-unit or wall-clock budget ran out before completion.
+    BudgetExhausted {
+        /// The guarded call site (e.g. `"hom/brute"`).
+        site: &'static str,
+        /// Work units consumed when the budget tripped.
+        work_done: u64,
+        /// The work-unit limit, if one was set.
+        work_limit: Option<u64>,
+        /// Milliseconds elapsed when the budget tripped, if a deadline was
+        /// set.
+        elapsed_ms: Option<u64>,
+    },
+    /// The computation observed its [`CancelToken`](crate::CancelToken)
+    /// fire and unwound cooperatively.
+    Cancelled {
+        /// The guarded call site.
+        site: &'static str,
+        /// Work units consumed before cancellation was observed.
+        work_done: u64,
+    },
+    /// An iterative algorithm hit its iteration cap without meeting its
+    /// convergence criterion (after any configured retries).
+    NonConvergence {
+        /// The guarded call site.
+        site: &'static str,
+        /// Iterations performed across all attempts.
+        iterations: u64,
+        /// Retries attempted before surfacing the diagnostic.
+        retries: u64,
+        /// Human-readable diagnostic.
+        detail: String,
+    },
+    /// The input violated a documented precondition.
+    InvalidInput {
+        /// The guarded call site.
+        site: &'static str,
+        /// What was wrong, phrased actionably.
+        message: String,
+    },
+    /// A floating-point computation produced NaN/∞ or an integer count
+    /// overflowed its exact type.
+    NumericFailure {
+        /// The guarded call site.
+        site: &'static str,
+        /// What broke and where, phrased actionably.
+        message: String,
+    },
+}
+
+impl GuardError {
+    /// Constructs an [`GuardError::InvalidInput`].
+    pub fn invalid_input(site: &'static str, message: impl Into<String>) -> Self {
+        GuardError::InvalidInput {
+            site,
+            message: message.into(),
+        }
+    }
+
+    /// Constructs a [`GuardError::NumericFailure`].
+    pub fn numeric(site: &'static str, message: impl Into<String>) -> Self {
+        GuardError::NumericFailure {
+            site,
+            message: message.into(),
+        }
+    }
+
+    /// The call site the error was raised from.
+    pub fn site(&self) -> &'static str {
+        match self {
+            GuardError::BudgetExhausted { site, .. }
+            | GuardError::Cancelled { site, .. }
+            | GuardError::NonConvergence { site, .. }
+            | GuardError::InvalidInput { site, .. }
+            | GuardError::NumericFailure { site, .. } => site,
+        }
+    }
+
+    /// Whether this error represents resource governance (budget or
+    /// cancellation) rather than a genuine input/numeric problem — the
+    /// cases where a degraded answer is still meaningful.
+    pub fn is_resource(&self) -> bool {
+        matches!(
+            self,
+            GuardError::BudgetExhausted { .. } | GuardError::Cancelled { .. }
+        )
+    }
+}
+
+impl fmt::Display for GuardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GuardError::BudgetExhausted {
+                site,
+                work_done,
+                work_limit,
+                elapsed_ms,
+            } => {
+                write!(f, "budget exhausted at {site} after {work_done} work units")?;
+                if let Some(limit) = work_limit {
+                    write!(f, " (limit {limit})")?;
+                }
+                if let Some(ms) = elapsed_ms {
+                    write!(f, " ({ms} ms elapsed)")?;
+                }
+                write!(
+                    f,
+                    "; raise the budget or use the partial/degraded variant"
+                )
+            }
+            GuardError::Cancelled { site, work_done } => {
+                write!(f, "cancelled at {site} after {work_done} work units")
+            }
+            GuardError::NonConvergence {
+                site,
+                iterations,
+                retries,
+                detail,
+            } => write!(
+                f,
+                "{site} failed to converge after {iterations} iterations and {retries} retries: {detail}"
+            ),
+            GuardError::InvalidInput { site, message } => {
+                write!(f, "invalid input to {site}: {message}")
+            }
+            GuardError::NumericFailure { site, message } => {
+                write!(f, "numeric failure in {site}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GuardError {}
+
+/// A short triage guide mapping each [`GuardError`] variant to the fix,
+/// for binaries that surface guard diagnostics to an operator.
+pub const TRIAGE: &str = "\
+  BudgetExhausted  raise --budget-ms / the work limit, or accept the partial variant\n\
+  Cancelled        expected after a CancelToken fires; the partial work is discarded\n\
+  NonConvergence   raise max_iters/retries or loosen the tolerance\n\
+  InvalidInput     fix the input named in the message; nothing was computed\n\
+  NumericFailure   the input poisons floating point (NaN/inf) or overflows exact counts";

@@ -1,0 +1,207 @@
+//! Deterministic fault injection for testing degradation paths.
+//!
+//! Faults are armed either programmatically ([`inject`]) or through the
+//! `X2V_FAULTS` environment variable (read once, like `X2V_OBS`), and fire
+//! at a *chosen call count* of a guarded site — so the budget-exhaustion,
+//! cancellation and NaN-poisoning recovery paths can be exercised
+//! deterministically, without oversized inputs or real timeouts.
+//!
+//! ## `X2V_FAULTS` grammar
+//!
+//! Comma-separated `kind@site[:at]` clauses, `at` defaulting to 1:
+//!
+//! ```text
+//! X2V_FAULTS=budget@hom/brute:2,cancel@wl/kwl,nan@kernel/gram:3
+//! ```
+//!
+//! * `budget@site:N` — the N-th guarded operation at `site` observes
+//!   [`GuardError::BudgetExhausted`](crate::GuardError::BudgetExhausted)
+//!   on its first budget check;
+//! * `cancel@site:N` — likewise, but
+//!   [`GuardError::Cancelled`](crate::GuardError::Cancelled);
+//! * `nan@site:N` — the N-th value passed through [`poison_f64`] at `site`
+//!   is replaced by NaN.
+//!
+//! Every fired fault increments the `guard/faults_injected` obs counter.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// The kind of control-flow fault a [`Meter`](crate::Meter) can be forced
+/// to report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Force `BudgetExhausted`.
+    Budget,
+    /// Force `Cancelled`.
+    Cancel,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Kind {
+    Flow(FaultKind),
+    Nan,
+}
+
+/// One armed fault: fire `kind` on the `at`-th call at `site`.
+#[derive(Debug)]
+struct Slot {
+    kind: Kind,
+    site: String,
+    at: u64,
+    calls: u64,
+    fired: bool,
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static SLOTS: Mutex<Vec<Slot>> = Mutex::new(Vec::new());
+static ENV_PARSED: OnceLock<()> = OnceLock::new();
+
+fn ensure_env_parsed() {
+    ENV_PARSED.get_or_init(|| {
+        if let Ok(spec) = std::env::var("X2V_FAULTS") {
+            for clause in spec.split(',') {
+                let clause = clause.trim();
+                if clause.is_empty() {
+                    continue;
+                }
+                if let Some((kind, rest)) = clause.split_once('@') {
+                    let (site, at) = match rest.rsplit_once(':') {
+                        Some((s, n)) => match n.parse::<u64>() {
+                            Ok(at) => (s, at),
+                            Err(_) => (rest, 1),
+                        },
+                        None => (rest, 1),
+                    };
+                    let kind = match kind.trim() {
+                        "budget" => Kind::Flow(FaultKind::Budget),
+                        "cancel" => Kind::Flow(FaultKind::Cancel),
+                        "nan" => Kind::Nan,
+                        other => {
+                            eprintln!("[x2v-guard] ignoring unknown fault kind {other:?}");
+                            continue;
+                        }
+                    };
+                    arm(kind, site.trim(), at.max(1));
+                } else {
+                    eprintln!("[x2v-guard] ignoring malformed X2V_FAULTS clause {clause:?}");
+                }
+            }
+        }
+    });
+}
+
+fn arm(kind: Kind, site: &str, at: u64) {
+    let mut slots = SLOTS.lock().expect("fault slots lock");
+    slots.push(Slot {
+        kind,
+        site: site.to_string(),
+        at,
+        calls: 0,
+        fired: false,
+    });
+    ACTIVE.store(true, Ordering::Release);
+}
+
+/// Programmatically arms a control-flow fault: the `at`-th guarded
+/// operation at `site` (1-based) reports `kind`.
+pub fn inject(kind: FaultKind, site: &str, at: u64) {
+    ensure_env_parsed();
+    arm(Kind::Flow(kind), site, at.max(1));
+}
+
+/// Programmatically arms NaN poisoning: the `at`-th value passed through
+/// [`poison_f64`] at `site` (1-based) becomes NaN.
+pub fn inject_nan(site: &str, at: u64) {
+    ensure_env_parsed();
+    arm(Kind::Nan, site, at.max(1));
+}
+
+/// Disarms every pending fault (armed by env or programmatically).
+pub fn clear() {
+    ensure_env_parsed();
+    SLOTS.lock().expect("fault slots lock").clear();
+    ACTIVE.store(false, Ordering::Release);
+}
+
+/// Whether any fault is currently armed. One relaxed atomic load when
+/// nothing is armed.
+pub fn any_armed() -> bool {
+    ensure_env_parsed();
+    ACTIVE.load(Ordering::Acquire)
+}
+
+/// Called by [`Budget::meter`](crate::Budget::meter): counts this guarded
+/// operation against armed control-flow faults at `site` and returns the
+/// fault the new meter must report, if any fires.
+pub(crate) fn armed(site: &str) -> Option<FaultKind> {
+    if !any_armed() {
+        return None;
+    }
+    let mut slots = SLOTS.lock().expect("fault slots lock");
+    for slot in slots.iter_mut() {
+        if slot.fired || slot.site != site {
+            continue;
+        }
+        if let Kind::Flow(kind) = slot.kind {
+            slot.calls += 1;
+            if slot.calls == slot.at {
+                slot.fired = true;
+                return Some(kind);
+            }
+        }
+    }
+    None
+}
+
+/// Passes `value` through the NaN-poisoning point at `site`: returns NaN
+/// when an armed `nan` fault fires, `value` otherwise. Numeric hot paths
+/// route their most failure-prone quantity (a normalisation denominator, an
+/// SMO error term) through this so `NumericFailure` recovery is testable.
+#[inline]
+pub fn poison_f64(site: &str, value: f64) -> f64 {
+    if !any_armed() {
+        return value;
+    }
+    let mut slots = SLOTS.lock().expect("fault slots lock");
+    for slot in slots.iter_mut() {
+        if slot.fired || slot.site != site || slot.kind != Kind::Nan {
+            continue;
+        }
+        slot.calls += 1;
+        if slot.calls == slot.at {
+            slot.fired = true;
+            x2v_obs::counter_add("guard/faults_injected", 1);
+            return f64::NAN;
+        }
+    }
+    value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Fault state is process-global; exercise it from a single #[test] so
+    // parallel test threads cannot interleave arm/clear.
+    #[test]
+    fn arm_fire_clear_cycle() {
+        clear();
+        assert!(!any_armed());
+
+        inject(FaultKind::Budget, "test/site", 2);
+        assert!(any_armed());
+        assert_eq!(armed("other/site"), None);
+        assert_eq!(armed("test/site"), None); // call 1: not yet
+        assert_eq!(armed("test/site"), Some(FaultKind::Budget)); // call 2
+        assert_eq!(armed("test/site"), None); // fired, stays off
+
+        inject_nan("test/nan", 2);
+        assert_eq!(poison_f64("test/nan", 1.5), 1.5);
+        assert!(poison_f64("test/nan", 1.5).is_nan());
+        assert_eq!(poison_f64("test/nan", 1.5), 1.5);
+
+        clear();
+        assert!(!any_armed());
+    }
+}

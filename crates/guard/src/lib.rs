@@ -1,0 +1,60 @@
+//! # x2v-guard — budgets, cancellation, typed errors and graceful degradation
+//!
+//! The survey's core primitives are worst-case exponential: brute-force
+//! `hom(F, G)` is `O(n^{|F|})`, exact treewidth is `O(2^n n²)`, k-WL is
+//! `O(n^{k+1})` per round, and SMO can fail to converge outright. This
+//! crate is the workspace's resource-governance layer — what separates a
+//! reproduction from a servable system. It provides, with no dependencies
+//! beyond `std` and the equally dependency-free `x2v-obs`:
+//!
+//! * [`Budget`] — an immutable resource specification combining a
+//!   wall-clock deadline, a deterministic work-unit limit, and a
+//!   cooperative [`CancelToken`]; metered per operation through [`Meter`],
+//!   whose [`Meter::tick`] costs one addition and compare on the hot path;
+//! * [`GuardError`] — the workspace-wide typed error
+//!   (`BudgetExhausted` / `Cancelled` / `NonConvergence` / `InvalidInput` /
+//!   `NumericFailure`) returned by every fallible `try_*` hot-path API;
+//! * [`Partial`] — a declared-partial result for the degrading variants
+//!   that prefer a truncated answer over an error;
+//! * an **ambient budget** ([`install_ambient`]) that infallible wrapper
+//!   APIs meter against — the `--budget-ms` / `X2V_BUDGET_MS` escape hatch
+//!   of the `exp_*` binaries;
+//! * [`faults`] — deterministic, env-gated fault injection (`X2V_FAULTS`)
+//!   that forces budget exhaustion, cancellation and NaN poisoning at
+//!   chosen call counts, so every degradation path is itself under test.
+//!
+//! Degradations are observable: trips and fallbacks increment the
+//! `guard/budget_exhausted`, `guard/cancelled`, `guard/degraded`,
+//! `guard/retries` and `guard/faults_injected` obs counters, which land in
+//! the `x2v-obs` JSON run report.
+//!
+//! ```
+//! use x2v_guard::{Budget, GuardError};
+//!
+//! let budget = Budget::unlimited().with_work_limit(1000);
+//! let mut meter = budget.meter("doc/example");
+//! let mut progress = 0u64;
+//! let outcome: Result<(), GuardError> = (0..2000).try_for_each(|_| {
+//!     meter.tick(1)?;
+//!     progress += 1;
+//!     Ok(())
+//! });
+//! assert!(matches!(outcome, Err(GuardError::BudgetExhausted { .. })));
+//! assert_eq!(progress, 1000); // deterministic stopping point
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod budget;
+mod error;
+pub mod faults;
+
+pub use budget::{
+    ambient, clear_ambient, install_ambient, note_degraded, note_retry, Budget, CancelToken, Meter,
+    Partial,
+};
+pub use error::{GuardError, TRIAGE};
+
+/// `Result` alias for guarded computations.
+pub type Result<T> = std::result::Result<T, GuardError>;

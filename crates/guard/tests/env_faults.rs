@@ -1,0 +1,56 @@
+//! The CI fault-injection matrix entry point.
+//!
+//! Driven by the `X2V_FAULTS` environment variable against the dedicated
+//! site `guard/env-test`; each matrix leg sets one clause:
+//!
+//! ```text
+//! X2V_FAULTS=budget@guard/env-test  cargo test -p x2v-guard --test env_faults
+//! X2V_FAULTS=cancel@guard/env-test  cargo test -p x2v-guard --test env_faults
+//! X2V_FAULTS=nan@guard/env-test     cargo test -p x2v-guard --test env_faults
+//! ```
+//!
+//! Without `X2V_FAULTS` the test skips gracefully, so a plain `cargo test`
+//! stays green.
+
+use x2v_guard::{faults, Budget, GuardError};
+
+const SITE: &str = "guard/env-test";
+
+#[test]
+fn env_armed_fault_fires_at_the_declared_site() {
+    let Ok(spec) = std::env::var("X2V_FAULTS") else {
+        eprintln!("X2V_FAULTS unset; skipping the env fault-injection test");
+        return;
+    };
+    assert!(
+        faults::any_armed(),
+        "X2V_FAULTS={spec:?} parsed to no armed fault"
+    );
+    let kind = spec.split('@').next().unwrap_or_default().trim();
+    match kind {
+        "nan" => {
+            assert!(
+                faults::poison_f64(SITE, 1.0).is_nan(),
+                "nan fault did not fire for X2V_FAULTS={spec:?}"
+            );
+            // Fired once, then values pass through untouched again.
+            assert_eq!(faults::poison_f64(SITE, 2.5), 2.5);
+        }
+        "budget" | "cancel" => {
+            let budget = Budget::unlimited();
+            let mut meter = budget.meter(SITE);
+            let err = meter
+                .tick(1)
+                .expect_err("armed flow fault must trip the first tick");
+            match (kind, &err) {
+                ("budget", GuardError::BudgetExhausted { site, .. })
+                | ("cancel", GuardError::Cancelled { site, .. }) => assert_eq!(*site, SITE),
+                _ => panic!("X2V_FAULTS={spec:?} produced mismatched error {err:?}"),
+            }
+            // One-shot: a fresh meter at the same site runs clean.
+            let mut clean = budget.meter(SITE);
+            clean.tick(1).expect("fault must fire exactly once");
+        }
+        other => panic!("unsupported fault kind {other:?} in X2V_FAULTS={spec:?}"),
+    }
+}

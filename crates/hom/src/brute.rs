@@ -9,44 +9,153 @@
 //! (trivially satisfied for unlabelled graphs, where all labels are 0).
 
 use x2v_graph::Graph;
+use x2v_guard::{Budget, GuardError, Meter, Partial};
+
+/// The guarded-site name for the brute-force backtracker (errors, fault
+/// injection and docs all refer to it).
+pub const SITE: &str = "hom/brute";
 
 /// Counts homomorphisms `F → G`.
+///
+/// Metered against the ambient [`Budget`]; panics with an actionable
+/// message when it trips (use [`try_hom_count`] for a recoverable error,
+/// [`hom_count_partial`] for a declared-partial count).
 pub fn hom_count(f: &Graph, g: &Graph) -> u128 {
+    let budget = x2v_guard::ambient();
+    try_hom_count(f, g, &budget).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Counts homomorphisms `F → G` within `budget`.
+///
+/// # Errors
+/// [`GuardError::BudgetExhausted`] / [`GuardError::Cancelled`] when the
+/// budget trips; one work unit is one backtracking node.
+pub fn try_hom_count(f: &Graph, g: &Graph, budget: &Budget) -> x2v_guard::Result<u128> {
     let _timer = x2v_obs::span("hom/brute_hom_count");
+    let mut total = 0u128;
+    let outcome = guarded_count(f, g, budget, &mut |_| {}, &mut total);
+    outcome.map(|()| total)
+}
+
+/// Counts homomorphisms `F → G` within `budget`, returning whatever was
+/// counted when the budget tripped as a declared-[`Partial`] result (and
+/// recording `guard/degraded`) instead of erroring.
+pub fn hom_count_partial(f: &Graph, g: &Graph, budget: &Budget) -> Partial<u128> {
+    let _timer = x2v_obs::span("hom/brute_hom_count");
+    let mut total = 0u128;
+    let mut work = 0u64;
+    match guarded_count_with_work(f, g, budget, &mut |_| {}, &mut total, &mut work) {
+        Ok(()) => Partial::complete(total, work),
+        Err(_) => Partial::degraded(total, work),
+    }
+}
+
+/// Runs the ordered backtracker under a meter, accumulating into `total`
+/// so the partial count survives an early exit.
+fn guarded_count<V: FnMut(&[usize])>(
+    f: &Graph,
+    g: &Graph,
+    budget: &Budget,
+    visit: &mut V,
+    total: &mut u128,
+) -> x2v_guard::Result<()> {
+    let mut work = 0u64;
+    guarded_count_with_work(f, g, budget, visit, total, &mut work)
+}
+
+fn guarded_count_with_work<V: FnMut(&[usize])>(
+    f: &Graph,
+    g: &Graph,
+    budget: &Budget,
+    visit: &mut V,
+    total: &mut u128,
+    work: &mut u64,
+) -> x2v_guard::Result<()> {
     // Order F's vertices so each (after the first in its component) has a
     // predecessor among already-placed vertices — prunes early.
     let order = connectivity_order(f);
     let gbits = g.adjacency_bits();
     let mut image = vec![usize::MAX; f.order()];
-    let mut nodes = 0u64;
-    let total = count_rec(f, g, &gbits, &order, 0, &mut image, &mut |_| {}, &mut nodes);
-    x2v_obs::counter_add("hom/recursion_nodes", nodes);
-    total
+    let mut meter = budget.meter(SITE);
+    let outcome = count_rec(
+        f, g, &gbits, &order, 0, &mut image, visit, &mut meter, total,
+    );
+    *work = meter.work_done();
+    x2v_obs::counter_add("hom/recursion_nodes", meter.work_done());
+    outcome
 }
 
 /// Counts homomorphisms with a pinned root: `hom(F, G; r ↦ v)`.
 pub fn hom_count_rooted(f: &Graph, root: usize, g: &Graph, v: usize) -> u128 {
+    let budget = x2v_guard::ambient();
+    try_hom_count_rooted(f, root, g, v, &budget).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Counts rooted homomorphisms `hom(F, G; r ↦ v)` within `budget`.
+///
+/// # Errors
+/// [`GuardError::BudgetExhausted`] / [`GuardError::Cancelled`] when the
+/// budget trips; [`GuardError::InvalidInput`] on out-of-range vertices.
+pub fn try_hom_count_rooted(
+    f: &Graph,
+    root: usize,
+    g: &Graph,
+    v: usize,
+    budget: &Budget,
+) -> x2v_guard::Result<u128> {
+    if root >= f.order() || v >= g.order() {
+        return Err(GuardError::invalid_input(
+            SITE,
+            format!(
+                "root {root} / image {v} out of range for |F| = {}, |G| = {}",
+                f.order(),
+                g.order()
+            ),
+        ));
+    }
     if f.label(root) != g.label(v) {
-        return 0;
+        return Ok(0);
     }
     let order = connectivity_order_from(f, root);
     let gbits = g.adjacency_bits();
     let mut image = vec![usize::MAX; f.order()];
     image[root] = v;
-    let mut nodes = 0u64;
-    let total = count_rec(f, g, &gbits, &order, 1, &mut image, &mut |_| {}, &mut nodes);
-    x2v_obs::counter_add("hom/recursion_nodes", nodes);
-    total
+    let mut meter = budget.meter(SITE);
+    let mut total = 0u128;
+    let outcome = count_rec(
+        f,
+        g,
+        &gbits,
+        &order,
+        1,
+        &mut image,
+        &mut |_| {},
+        &mut meter,
+        &mut total,
+    );
+    x2v_obs::counter_add("hom/recursion_nodes", meter.work_done());
+    outcome.map(|()| total)
 }
 
 /// Counts embeddings (injective homomorphisms) `emb(F, G)`.
 pub fn emb_count(f: &Graph, g: &Graph) -> u128 {
+    let budget = x2v_guard::ambient();
+    try_emb_count(f, g, &budget).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Counts embeddings `emb(F, G)` within `budget`.
+///
+/// # Errors
+/// [`GuardError::BudgetExhausted`] / [`GuardError::Cancelled`] when the
+/// budget trips.
+pub fn try_emb_count(f: &Graph, g: &Graph, budget: &Budget) -> x2v_guard::Result<u128> {
     let _timer = x2v_obs::span("hom/brute_emb_count");
     let order = connectivity_order(f);
     let gbits = g.adjacency_bits();
     let mut image = vec![usize::MAX; f.order()];
-    let mut nodes = 0u64;
-    let total = count_injective(
+    let mut meter = budget.meter(SITE);
+    let mut total = 0u128;
+    let outcome = count_injective(
         f,
         g,
         &gbits,
@@ -54,22 +163,30 @@ pub fn emb_count(f: &Graph, g: &Graph) -> u128 {
         0,
         &mut image,
         &mut vec![false; g.order()],
-        &mut nodes,
+        &mut meter,
+        &mut total,
     );
-    x2v_obs::counter_add("hom/recursion_nodes", nodes);
-    total
+    x2v_obs::counter_add("hom/recursion_nodes", meter.work_done());
+    outcome.map(|()| total)
 }
 
 /// Counts epimorphisms `epi(F, G)`: homomorphisms surjective on vertices
 /// *and* edges (the decomposition used in the proof of Theorem 4.2).
 pub fn epi_count(f: &Graph, g: &Graph) -> u128 {
+    let budget = x2v_guard::ambient();
+    try_epi_count(f, g, &budget).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Counts epimorphisms `epi(F, G)` within `budget`.
+///
+/// # Errors
+/// [`GuardError::BudgetExhausted`] / [`GuardError::Cancelled`] when the
+/// budget trips.
+pub fn try_epi_count(f: &Graph, g: &Graph, budget: &Budget) -> x2v_guard::Result<u128> {
     let _timer = x2v_obs::span("hom/brute_epi_count");
     if f.order() < g.order() || f.size() < g.size() {
-        return 0;
+        return Ok(0);
     }
-    let order = connectivity_order(f);
-    let gbits = g.adjacency_bits();
-    let mut image = vec![usize::MAX; f.order()];
     let mut total = 0u128;
     let mut check = |image: &[usize]| {
         // Vertex surjectivity.
@@ -94,23 +211,33 @@ pub fn epi_count(f: &Graph, g: &Graph) -> u128 {
             total += 1;
         }
     };
-    let mut nodes = 0u64;
-    let all = count_rec(f, g, &gbits, &order, 0, &mut image, &mut check, &mut nodes);
-    let _ = all;
-    x2v_obs::counter_add("hom/recursion_nodes", nodes);
-    total
+    let mut hom_total = 0u128;
+    guarded_count(f, g, budget, &mut check, &mut hom_total)?;
+    Ok(total)
 }
 
 /// Enumerates all homomorphisms, calling `visit` with each complete image
 /// vector. Returns the count.
 pub fn for_each_hom<F: FnMut(&[usize])>(f: &Graph, g: &Graph, visit: &mut F) -> u128 {
-    let order = connectivity_order(f);
-    let gbits = g.adjacency_bits();
-    let mut image = vec![usize::MAX; f.order()];
-    let mut nodes = 0u64;
-    let total = count_rec(f, g, &gbits, &order, 0, &mut image, visit, &mut nodes);
-    x2v_obs::counter_add("hom/recursion_nodes", nodes);
-    total
+    let budget = x2v_guard::ambient();
+    try_for_each_hom(f, g, &budget, visit).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Enumerates all homomorphisms within `budget`, calling `visit` with each
+/// complete image vector. Returns the count of homomorphisms visited.
+///
+/// # Errors
+/// [`GuardError::BudgetExhausted`] / [`GuardError::Cancelled`] when the
+/// budget trips; homomorphisms already visited are not revisited on retry.
+pub fn try_for_each_hom<F: FnMut(&[usize])>(
+    f: &Graph,
+    g: &Graph,
+    budget: &Budget,
+    visit: &mut F,
+) -> x2v_guard::Result<u128> {
+    let mut total = 0u128;
+    guarded_count(f, g, budget, visit, &mut total)?;
+    Ok(total)
 }
 
 /// A placement order where each vertex (when possible) is adjacent to an
@@ -153,6 +280,8 @@ fn bfs_into(f: &Graph, s: usize, seen: &mut [bool], order: &mut Vec<usize>) {
     }
 }
 
+/// One backtracking node = one work unit; partial counts accumulate into
+/// `total` so an early budget exit still reports everything found so far.
 #[allow(clippy::too_many_arguments)]
 fn count_rec<V: FnMut(&[usize])>(
     f: &Graph,
@@ -162,15 +291,16 @@ fn count_rec<V: FnMut(&[usize])>(
     depth: usize,
     image: &mut [usize],
     visit: &mut V,
-    nodes: &mut u64,
-) -> u128 {
-    *nodes += 1;
+    meter: &mut Meter<'_>,
+    total: &mut u128,
+) -> x2v_guard::Result<()> {
+    meter.tick(1)?;
     if depth == order.len() {
         visit(image);
-        return 1;
+        *total += 1;
+        return Ok(());
     }
     let u = order[depth];
-    let mut total = 0u128;
     'candidates: for x in 0..g.order() {
         if f.label(u) != g.label(x) {
             continue;
@@ -183,10 +313,10 @@ fn count_rec<V: FnMut(&[usize])>(
             }
         }
         image[u] = x;
-        total += count_rec(f, g, gbits, order, depth + 1, image, visit, nodes);
+        count_rec(f, g, gbits, order, depth + 1, image, visit, meter, total)?;
         image[u] = usize::MAX;
     }
-    total
+    Ok(())
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -198,14 +328,15 @@ fn count_injective(
     depth: usize,
     image: &mut [usize],
     used: &mut Vec<bool>,
-    nodes: &mut u64,
-) -> u128 {
-    *nodes += 1;
+    meter: &mut Meter<'_>,
+    total: &mut u128,
+) -> x2v_guard::Result<()> {
+    meter.tick(1)?;
     if depth == order.len() {
-        return 1;
+        *total += 1;
+        return Ok(());
     }
     let u = order[depth];
-    let mut total = 0u128;
     'candidates: for x in 0..g.order() {
         if used[x] || f.label(u) != g.label(x) {
             continue;
@@ -218,11 +349,11 @@ fn count_injective(
         }
         image[u] = x;
         used[x] = true;
-        total += count_injective(f, g, gbits, order, depth + 1, image, used, nodes);
+        count_injective(f, g, gbits, order, depth + 1, image, used, meter, total)?;
         used[x] = false;
         image[u] = usize::MAX;
     }
-    total
+    Ok(())
 }
 
 #[cfg(test)]
@@ -337,6 +468,57 @@ mod tests {
         assert_eq!(seen.len(), 2);
         assert!(seen.contains(&vec![0, 1]));
         assert!(seen.contains(&vec![1, 0]));
+    }
+
+    #[test]
+    fn try_variants_match_infallible_when_unlimited() {
+        let b = Budget::unlimited();
+        let (f, g) = (path(3), cycle(5));
+        assert_eq!(try_hom_count(&f, &g, &b).unwrap(), hom_count(&f, &g));
+        assert_eq!(try_emb_count(&f, &g, &b).unwrap(), emb_count(&f, &g));
+        assert_eq!(
+            try_epi_count(&path(3), &path(2), &b).unwrap(),
+            epi_count(&path(3), &path(2))
+        );
+        let p = hom_count_partial(&f, &g, &b);
+        assert!(p.complete);
+        assert_eq!(p.value, hom_count(&f, &g));
+    }
+
+    #[test]
+    fn work_limit_stops_deterministically() {
+        let (f, g) = (path(4), complete(5));
+        let b = Budget::unlimited().with_work_limit(40);
+        let e1 = try_hom_count(&f, &g, &b).unwrap_err();
+        let e2 = try_hom_count(&f, &g, &b).unwrap_err();
+        assert_eq!(e1, e2, "identical budget must trip identically");
+        let p1 = hom_count_partial(&f, &g, &b);
+        let p2 = hom_count_partial(&f, &g, &b);
+        assert!(!p1.complete);
+        assert_eq!(p1, p2, "identical budget must give identical partials");
+        assert!(p1.value < hom_count(&f, &g));
+    }
+
+    #[test]
+    fn cancellation_unwinds_cleanly() {
+        let token = x2v_guard::CancelToken::new();
+        token.cancel();
+        let b = Budget::unlimited()
+            .with_cancel(token)
+            .with_work_limit(u64::MAX);
+        // Cancel is polled at checkpoints (every 1024 units); a big enough
+        // search is guaranteed to observe it.
+        let err = try_hom_count(&path(6), &complete(6), &b).unwrap_err();
+        assert!(matches!(err, x2v_guard::GuardError::Cancelled { .. }));
+    }
+
+    #[test]
+    fn rooted_rejects_out_of_range() {
+        let b = Budget::unlimited();
+        assert!(matches!(
+            try_hom_count_rooted(&path(2), 5, &cycle(4), 0, &b),
+            Err(x2v_guard::GuardError::InvalidInput { .. })
+        ));
     }
 
     #[test]

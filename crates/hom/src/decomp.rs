@@ -10,6 +10,10 @@
 use crate::treewidth::{exact_decomposition, TreeDecomposition};
 use x2v_graph::hash::FxHashMap;
 use x2v_graph::Graph;
+use x2v_guard::{Budget, GuardError};
+
+/// The guarded-site name for the decomposition DP.
+pub const SITE: &str = "hom/decomp";
 
 /// A node of a nice tree decomposition.
 #[derive(Clone, Debug)]
@@ -33,9 +37,16 @@ struct NiceDecomposition {
 }
 
 /// Converts an arbitrary decomposition into a nice one rooted anywhere.
+///
+/// Invariant: callers pass decompositions of non-empty patterns, which
+/// always have at least one bag (`hom_count_decomp` short-circuits the
+/// empty pattern before decomposing).
 fn make_nice(td: &TreeDecomposition) -> NiceDecomposition {
     let b = td.bags.len();
-    assert!(b > 0, "empty decomposition");
+    assert!(
+        b > 0,
+        "make_nice requires a non-empty decomposition; handle 0-vertex patterns before decomposing"
+    );
     let mut adj = vec![Vec::new(); b];
     for &(x, y) in &td.edges {
         adj[x].push(y);
@@ -137,24 +148,62 @@ type Table = FxHashMap<Vec<usize>, u128>;
 /// Counts `hom(F, G)` by DP over a nice tree decomposition of `F`.
 ///
 /// Complexity `O(|decomposition| · n^{tw+1})` with small constants; exact
-/// `u128` arithmetic (panics on overflow).
+/// `u128` arithmetic. Metered against the ambient [`Budget`]; panics with
+/// an actionable message on budget trips or `u128` overflow (use
+/// [`try_hom_count_decomp`] for recoverable errors).
 pub fn hom_count_decomp(f: &Graph, g: &Graph) -> u128 {
+    let budget = x2v_guard::ambient();
+    try_hom_count_decomp(f, g, &budget).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Counts `hom(F, G)` by decomposition DP within `budget`.
+///
+/// # Errors
+/// [`GuardError::BudgetExhausted`] / [`GuardError::Cancelled`] when the
+/// budget trips (one work unit per DP table entry touched), and
+/// [`GuardError::NumericFailure`] if the exact count overflows `u128`.
+pub fn try_hom_count_decomp(f: &Graph, g: &Graph, budget: &Budget) -> x2v_guard::Result<u128> {
     if f.order() == 0 {
-        return 1;
+        return Ok(1);
     }
     let td = exact_decomposition(f);
-    hom_count_with_decomposition(f, g, &td)
+    try_hom_count_with_decomposition(f, g, &td, budget)
 }
 
 /// Like [`hom_count_decomp`] but with a caller-provided decomposition
 /// (useful when counting one pattern into many targets).
 pub fn hom_count_with_decomposition(f: &Graph, g: &Graph, td: &TreeDecomposition) -> u128 {
+    let budget = x2v_guard::ambient();
+    try_hom_count_with_decomposition(f, g, td, &budget).unwrap_or_else(|e| panic!("{e}"))
+}
+
+fn overflow(op: &str) -> GuardError {
+    GuardError::numeric(
+        SITE,
+        format!(
+            "hom count overflowed u128 during table {op}; the exact value is not representable"
+        ),
+    )
+}
+
+/// Fallible decomposition DP: the budget is ticked once per table entry
+/// touched, and every `u128` step is checked.
+pub fn try_hom_count_with_decomposition(
+    f: &Graph,
+    g: &Graph,
+    td: &TreeDecomposition,
+    budget: &Budget,
+) -> x2v_guard::Result<u128> {
     debug_assert!(td.is_valid_for(f), "invalid decomposition for pattern");
     let nice = make_nice(td);
     let n = g.order();
     let gbits = g.adjacency_bits();
+    let mut meter = budget.meter(SITE);
     let mut tables: Vec<Option<Table>> = vec![None; nice.nodes.len()];
     for (idx, node) in nice.nodes.iter().enumerate() {
+        // `take().expect(…)`: children precede parents in `nice.nodes`
+        // (topological construction order), and each child feeds exactly
+        // one parent, so its table is present and not yet consumed.
         let table = match node {
             NiceNode::Leaf => {
                 let mut t = Table::default();
@@ -164,7 +213,10 @@ pub fn hom_count_with_decomposition(f: &Graph, g: &Graph, td: &TreeDecomposition
             NiceNode::Introduce { v, child } => {
                 let child_bag = &nice.bags[*child];
                 let bag = &nice.bags[idx];
-                let vpos = bag.iter().position(|x| x == v).expect("v in bag");
+                let vpos = bag
+                    .iter()
+                    .position(|x| x == v)
+                    .expect("introduce node's bag contains the introduced vertex by construction");
                 // Pattern neighbours of v inside the bag, with their child-
                 // bag positions.
                 let nb: Vec<usize> = f
@@ -172,9 +224,12 @@ pub fn hom_count_with_decomposition(f: &Graph, g: &Graph, td: &TreeDecomposition
                     .iter()
                     .filter_map(|&w| child_bag.iter().position(|&x| x == w))
                     .collect();
-                let child_table = tables[*child].take().expect("child computed");
+                let child_table = tables[*child]
+                    .take()
+                    .expect("child table computed before parent");
                 let mut t = Table::default();
                 for (assign, &count) in &child_table {
+                    meter.tick(n as u64)?;
                     for x in 0..n {
                         if f.label(*v) != g.label(x) {
                             continue;
@@ -190,30 +245,38 @@ pub fn hom_count_with_decomposition(f: &Graph, g: &Graph, td: &TreeDecomposition
                         let mut na = assign.clone();
                         na.insert(vpos, x);
                         let slot = t.entry(na).or_insert(0);
-                        *slot = slot.checked_add(count).expect("hom count overflow");
+                        *slot = slot
+                            .checked_add(count)
+                            .ok_or_else(|| overflow("introduce"))?;
                     }
                 }
                 t
             }
             NiceNode::Forget { v, child } => {
                 let child_bag = &nice.bags[*child];
-                let vpos = child_bag
-                    .iter()
-                    .position(|x| x == v)
-                    .expect("v in child bag");
-                let child_table = tables[*child].take().expect("child computed");
+                let vpos = child_bag.iter().position(|x| x == v).expect(
+                    "forget node's child bag contains the forgotten vertex by construction",
+                );
+                let child_table = tables[*child]
+                    .take()
+                    .expect("child table computed before parent");
                 let mut t = Table::default();
                 for (assign, &count) in &child_table {
+                    meter.tick(1)?;
                     let mut na = assign.clone();
                     na.remove(vpos);
                     let slot = t.entry(na).or_insert(0);
-                    *slot = slot.checked_add(count).expect("hom count overflow");
+                    *slot = slot.checked_add(count).ok_or_else(|| overflow("forget"))?;
                 }
                 t
             }
             NiceNode::Join { left, right } => {
-                let lt = tables[*left].take().expect("left computed");
-                let rt = tables[*right].take().expect("right computed");
+                let lt = tables[*left]
+                    .take()
+                    .expect("child table computed before parent");
+                let rt = tables[*right]
+                    .take()
+                    .expect("child table computed before parent");
                 let (small, large) = if lt.len() <= rt.len() {
                     (lt, rt)
                 } else {
@@ -221,10 +284,11 @@ pub fn hom_count_with_decomposition(f: &Graph, g: &Graph, td: &TreeDecomposition
                 };
                 let mut t = Table::default();
                 for (assign, &count) in &small {
+                    meter.tick(1)?;
                     if let Some(&other) = large.get(assign) {
                         t.insert(
                             assign.clone(),
-                            count.checked_mul(other).expect("hom count overflow"),
+                            count.checked_mul(other).ok_or_else(|| overflow("join"))?,
                         );
                     }
                 }
@@ -234,9 +298,12 @@ pub fn hom_count_with_decomposition(f: &Graph, g: &Graph, td: &TreeDecomposition
         tables[idx] = Some(table);
     }
     // Forget everything above the root bag.
-    let root_table = tables[nice.root].take().expect("root computed");
-    root_table.values().copied().fold(0u128, |acc, c| {
-        acc.checked_add(c).expect("hom count overflow")
+    let root_table = tables[nice.root]
+        .take()
+        .expect("root table computed last and never consumed as a child");
+    x2v_obs::counter_add("hom/decomp_table_entries", meter.work_done());
+    root_table.values().copied().try_fold(0u128, |acc, c| {
+        acc.checked_add(c).ok_or_else(|| overflow("root sum"))
     })
 }
 
@@ -312,5 +379,20 @@ mod tests {
     fn dense_pattern_k4_into_k6() {
         // hom(K4, K6) = 6·5·4·3 = 360.
         assert_eq!(hom_count_decomp(&complete(4), &complete(6)), 360);
+    }
+
+    #[test]
+    fn budget_trips_with_typed_error() {
+        use x2v_guard::{Budget, GuardError};
+        let tight = Budget::unlimited().with_work_limit(3);
+        match try_hom_count_decomp(&cycle(4), &complete(5), &tight) {
+            Err(GuardError::BudgetExhausted { site, .. }) => assert_eq!(site, SITE),
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+        // Unlimited budget agrees with the infallible wrapper.
+        assert_eq!(
+            try_hom_count_decomp(&cycle(4), &complete(5), &Budget::unlimited()).unwrap(),
+            hom_count_decomp(&cycle(4), &complete(5))
+        );
     }
 }

@@ -30,6 +30,14 @@
 //! * [`vectors`] — the embeddings `Hom_F`, their log-scaled practical form
 //!   `(1/|F|) log hom(F, G)`, and the kernel of eq. (4.1).
 //!
+//! The exponential hot paths ([`brute`], [`treewidth`], [`decomp`]) are
+//! metered through `x2v-guard`: each has `try_*` variants taking an
+//! explicit [`x2v_guard::Budget`] and returning typed
+//! [`x2v_guard::GuardError`]s, plus degrading forms
+//! ([`brute::hom_count_partial`], [`treewidth::treewidth_budgeted`]) that
+//! trade exactness for bounded time. The classic infallible signatures
+//! remain, metered against the ambient budget.
+//!
 //! ```
 //! use x2v_graph::generators::{cycle, petersen, star};
 //! use x2v_hom::{trees, walks};

@@ -9,6 +9,10 @@
 //! [`crate::decomp`]).
 
 use x2v_graph::Graph;
+use x2v_guard::{Budget, GuardError};
+
+/// The guarded-site name for the exact subset DP.
+pub const SITE: &str = "hom/treewidth";
 
 /// A tree decomposition: bags plus tree edges between bag indices.
 #[derive(Clone, Debug)]
@@ -138,14 +142,43 @@ fn fill_degree(g: &Graph, eliminated: u32, v: usize) -> usize {
 ///
 /// Returns `(treewidth, elimination_order)` where eliminating in that order
 /// never creates a front larger than the treewidth.
+///
+/// Metered against the ambient [`Budget`]; panics with an actionable
+/// message when it trips or when `g` is too large (use
+/// [`try_exact_treewidth`] for recoverable errors, or
+/// [`treewidth_budgeted`] for automatic degradation to the greedy
+/// min-degree upper bound).
 pub fn exact_treewidth(g: &Graph) -> (usize, Vec<usize>) {
+    let budget = x2v_guard::ambient();
+    try_exact_treewidth(g, &budget).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Exact treewidth by subset DP, within `budget`.
+///
+/// One work unit is one eliminated-last candidate examined in the DP
+/// (`Σ_s popcount(s)` total — deterministic).
+///
+/// # Errors
+/// [`GuardError::InvalidInput`] for graphs over 24 vertices,
+/// [`GuardError::BudgetExhausted`] / [`GuardError::Cancelled`] when the
+/// budget trips.
+pub fn try_exact_treewidth(g: &Graph, budget: &Budget) -> x2v_guard::Result<(usize, Vec<usize>)> {
     let _timer = x2v_obs::span("hom/exact_treewidth");
     let n = g.order();
-    assert!(n <= 24, "exact treewidth limited to 24 vertices");
-    if n == 0 {
-        return (0, Vec::new());
+    if n > 24 {
+        return Err(GuardError::invalid_input(
+            SITE,
+            format!(
+                "exact treewidth is a 2^n subset DP, limited to 24 vertices (got {n}); \
+                 use treewidth_upper_bound or treewidth_budgeted for larger graphs"
+            ),
+        ));
     }
-    let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+    if n == 0 {
+        return Ok((0, Vec::new()));
+    }
+    let full: u32 = (1u32 << n) - 1;
+    let mut meter = budget.meter(SITE);
     // dp[s] = minimal max-front over orderings eliminating exactly set s
     // first; choice[s] = the vertex eliminated last within s achieving it.
     let mut dp = vec![u8::MAX; (full as usize) + 1];
@@ -153,6 +186,7 @@ pub fn exact_treewidth(g: &Graph) -> (usize, Vec<usize>) {
     dp[0] = 0;
     for s in 1..=(full as usize) {
         let su = s as u32;
+        meter.tick(su.count_ones() as u64)?;
         let mut best = u8::MAX;
         let mut best_v = u8::MAX;
         let mut bits = su;
@@ -183,7 +217,82 @@ pub fn exact_treewidth(g: &Graph) -> (usize, Vec<usize>) {
         s &= !(1 << v);
     }
     order.reverse();
-    (dp[full as usize] as usize, order)
+    Ok((dp[full as usize] as usize, order))
+}
+
+/// [`fill_degree`] without the 32-vertex mask limit: the number of
+/// non-eliminated vertices reachable from `v` through eliminated ones.
+fn fill_degree_any(g: &Graph, eliminated: &[bool], v: usize) -> usize {
+    let mut seen = vec![false; g.order()];
+    let mut stack = vec![v];
+    seen[v] = true;
+    let mut outside = 0usize;
+    while let Some(x) = stack.pop() {
+        for &w in g.neighbours(x) {
+            if seen[w] {
+                continue;
+            }
+            seen[w] = true;
+            if eliminated[w] {
+                stack.push(w);
+            } else {
+                outside += 1;
+            }
+        }
+    }
+    outside
+}
+
+/// The greedy min-degree elimination heuristic: an *upper bound* on
+/// treewidth plus the elimination order achieving it. `O(n² · m)`, valid
+/// for graphs of any order — the degradation target when the exact DP is
+/// out of budget or out of range.
+pub fn treewidth_upper_bound(g: &Graph) -> (usize, Vec<usize>) {
+    let n = g.order();
+    let mut eliminated = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut width = 0usize;
+    for _ in 0..n {
+        // Pick the remaining vertex with the smallest eliminated-aware
+        // front; ties break on vertex id for determinism.
+        let (v, deg) = (0..n)
+            .filter(|&v| !eliminated[v])
+            .map(|v| (v, fill_degree_any(g, &eliminated, v)))
+            .min_by_key(|&(v, d)| (d, v))
+            .expect("some vertex remains: loop runs order() times");
+        width = width.max(deg);
+        order.push(v);
+        eliminated[v] = true;
+    }
+    (width, order)
+}
+
+/// How a [`treewidth_budgeted`] result was obtained.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TreewidthQuality {
+    /// The exact subset DP completed: the width is the true treewidth.
+    Exact,
+    /// The exact DP was out of budget or out of range; the width is the
+    /// greedy min-degree *upper bound*.
+    UpperBound,
+}
+
+/// Treewidth with graceful degradation: runs the exact DP within `budget`
+/// and falls back to [`treewidth_upper_bound`] (recording
+/// `guard/degraded`) when the budget trips or the graph exceeds the exact
+/// DP's 24-vertex range. Returns `(width, elimination_order, quality)`.
+///
+/// The returned order always witnesses the returned width, so
+/// [`decomposition_from_order`] yields a valid decomposition either way.
+pub fn treewidth_budgeted(g: &Graph, budget: &Budget) -> (usize, Vec<usize>, TreewidthQuality) {
+    match try_exact_treewidth(g, budget) {
+        Ok((tw, order)) => (tw, order, TreewidthQuality::Exact),
+        Err(_) => {
+            x2v_guard::note_degraded();
+            let (ub, order) = treewidth_upper_bound(g);
+            (ub, order, TreewidthQuality::UpperBound)
+        }
+    }
 }
 
 /// Builds a tree decomposition of width `tw` from an elimination order
@@ -191,7 +300,10 @@ pub fn exact_treewidth(g: &Graph) -> (usize, Vec<usize>) {
 /// the first later-eliminated vertex in its front.
 pub fn decomposition_from_order(g: &Graph, order: &[usize]) -> TreeDecomposition {
     let n = g.order();
-    assert!(n <= 32, "bitmask construction limited to 32 vertices");
+    assert!(
+        n <= 32,
+        "decomposition_from_order uses 32-bit elimination masks (got {n} vertices)"
+    );
     if n == 0 {
         return TreeDecomposition {
             bags: vec![],
@@ -297,6 +409,54 @@ mod tests {
             let td = decomposition_from_order(&g, &order);
             assert_eq!(td.width, tw);
         }
+    }
+
+    #[test]
+    fn upper_bound_never_below_exact() {
+        for g in [path(6), cycle(5), complete(4), grid(3, 3), petersen()] {
+            let (tw, _) = exact_treewidth(&g);
+            let (ub, order) = treewidth_upper_bound(&g);
+            assert!(ub >= tw, "{g:?}: upper bound {ub} < exact {tw}");
+            // The order witnesses the bound: its decomposition is valid
+            // with width ≤ ub.
+            let td = decomposition_from_order(&g, &order);
+            assert!(td.is_valid_for(&g));
+            assert!(td.width <= ub);
+        }
+        // Min-degree is exact on trees, cycles and cliques.
+        assert_eq!(treewidth_upper_bound(&path(6)).0, 1);
+        assert_eq!(treewidth_upper_bound(&cycle(5)).0, 2);
+        assert_eq!(treewidth_upper_bound(&complete(6)).0, 5);
+    }
+
+    #[test]
+    fn budgeted_degrades_to_upper_bound() {
+        let g = petersen();
+        let (tw, _, q) = treewidth_budgeted(&g, &Budget::unlimited());
+        assert_eq!((tw, q), (4, TreewidthQuality::Exact));
+        // A one-unit budget cannot finish the 2^10-subset DP.
+        let tight = Budget::unlimited().with_work_limit(1);
+        let (ub, order, q) = treewidth_budgeted(&g, &tight);
+        assert_eq!(q, TreewidthQuality::UpperBound);
+        assert!(ub >= 4);
+        let td = decomposition_from_order(&g, &order);
+        assert!(td.is_valid_for(&g));
+    }
+
+    #[test]
+    fn oversized_graph_rejected_with_typed_error() {
+        let g = x2v_graph::generators::grid(5, 5); // 25 > 24 vertices
+        match try_exact_treewidth(&g, &Budget::unlimited()) {
+            Err(GuardError::InvalidInput { site, message }) => {
+                assert_eq!(site, SITE);
+                assert!(message.contains("24"));
+            }
+            other => panic!("expected InvalidInput, got {other:?}"),
+        }
+        // …but the budgeted API still answers (degraded).
+        let (ub, _, q) = treewidth_budgeted(&g, &Budget::unlimited());
+        assert_eq!(q, TreewidthQuality::UpperBound);
+        assert!(ub >= 3); // grid(5,5) has treewidth 5; min-degree ≥ exact ≥ 3
     }
 
     #[test]

@@ -1,7 +1,11 @@
 //! Gram-matrix utilities: centering, cosine normalisation, PSD checks.
 
+use x2v_guard::GuardError;
 use x2v_linalg::eigen::sym_eigenvalues;
 use x2v_linalg::Matrix;
+
+/// The guarded-site name for Gram-matrix post-processing.
+pub const SITE: &str = "kernel/gram";
 
 /// Whether a symmetric matrix is positive semidefinite up to `tol`
 /// (smallest eigenvalue ≥ −tol) — the defining property of a kernel
@@ -18,28 +22,79 @@ pub fn is_psd(k: &Matrix, tol: f64) -> bool {
 
 /// Cosine-normalises a Gram matrix: `K'_ij = K_ij / √(K_ii K_jj)`.
 /// Rows/columns with zero self-similarity are left at zero.
+///
+/// # Panics
+/// On non-finite entries or a negative diagonal — see [`try_normalize`]
+/// for the typed-error variant.
 pub fn normalize(k: &Matrix) -> Matrix {
+    try_normalize(k).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`normalize`] with numeric failures surfaced as typed errors.
+///
+/// # Errors
+/// [`GuardError::NumericFailure`] when a diagonal entry is negative or
+/// non-finite (its square root would silently poison the whole row with
+/// NaN) or when any normalised entry comes out non-finite.
+pub fn try_normalize(k: &Matrix) -> x2v_guard::Result<Matrix> {
     let _timer = x2v_obs::span("kernel/normalize");
     let n = k.rows();
+    for i in 0..n {
+        let d = x2v_guard::faults::poison_f64(SITE, k[(i, i)]);
+        if !d.is_finite() || d < 0.0 {
+            return Err(GuardError::numeric(
+                SITE,
+                format!("diagonal entry K[{i},{i}] = {d} is not a valid self-similarity"),
+            ));
+        }
+    }
     let mut out = Matrix::zeros(n, n);
     for i in 0..n {
         for j in 0..n {
             let d = (k[(i, i)] * k[(j, j)]).sqrt();
             if d > 0.0 {
-                out[(i, j)] = k[(i, j)] / d;
+                let v = k[(i, j)] / d;
+                if !v.is_finite() {
+                    return Err(GuardError::numeric(
+                        SITE,
+                        format!("normalised entry K'[{i},{j}] = {v} is non-finite"),
+                    ));
+                }
+                out[(i, j)] = v;
             }
         }
     }
-    out
+    Ok(out)
 }
 
 /// Centres a Gram matrix in feature space:
 /// `K' = (I − 1/n) K (I − 1/n)` — required before kernel PCA.
+///
+/// # Panics
+/// On non-finite entries — see [`try_center`] for the typed-error variant.
 pub fn center(k: &Matrix) -> Matrix {
+    try_center(k).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`center`] with numeric failures surfaced as typed errors.
+///
+/// # Errors
+/// [`GuardError::NumericFailure`] when a row mean is non-finite (one NaN
+/// or ±∞ entry would otherwise contaminate the entire centred matrix).
+pub fn try_center(k: &Matrix) -> x2v_guard::Result<Matrix> {
     let _timer = x2v_obs::span("kernel/center");
     let n = k.rows();
     let nf = n as f64;
     let row_means: Vec<f64> = (0..n).map(|i| k.row(i).iter().sum::<f64>() / nf).collect();
+    for (i, &m) in row_means.iter().enumerate() {
+        let m = x2v_guard::faults::poison_f64(SITE, m);
+        if !m.is_finite() {
+            return Err(GuardError::numeric(
+                SITE,
+                format!("row {i} mean is non-finite; the Gram matrix contains NaN or ±∞"),
+            ));
+        }
+    }
     let total_mean: f64 = row_means.iter().sum::<f64>() / nf;
     let mut out = Matrix::zeros(n, n);
     for i in 0..n {
@@ -47,7 +102,7 @@ pub fn center(k: &Matrix) -> Matrix {
             out[(i, j)] = k[(i, j)] - row_means[i] - row_means[j] + total_mean;
         }
     }
-    out
+    Ok(out)
 }
 
 /// Evaluates a test-against-train kernel block and centres it consistently
@@ -111,5 +166,38 @@ mod tests {
         let c = center(&k);
         let cb = center_block(&k, &k);
         assert!(cb.approx_eq(&c, 1e-9));
+    }
+
+    #[test]
+    fn normalize_rejects_negative_diagonal() {
+        let k = Matrix::from_rows(&[&[-1.0, 0.0], &[0.0, 1.0]]);
+        let err = try_normalize(&k).unwrap_err();
+        assert!(
+            matches!(err, x2v_guard::GuardError::NumericFailure { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn normalize_rejects_nan_diagonal() {
+        let k = Matrix::from_rows(&[&[f64::NAN, 0.0], &[0.0, 1.0]]);
+        assert!(try_normalize(&k).is_err());
+    }
+
+    #[test]
+    fn center_rejects_infinite_entry() {
+        let k = Matrix::from_rows(&[&[1.0, f64::INFINITY], &[f64::INFINITY, 1.0]]);
+        let err = try_center(&k).unwrap_err();
+        assert!(
+            matches!(err, x2v_guard::GuardError::NumericFailure { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn try_variants_match_infallible_on_clean_input() {
+        let k = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 9.0]]);
+        assert!(try_normalize(&k).unwrap().approx_eq(&normalize(&k), 0.0));
+        assert!(try_center(&k).unwrap().approx_eq(&center(&k), 0.0));
     }
 }

@@ -19,6 +19,13 @@
 //!   classifiers the paper's empirical claims are phrased in terms of;
 //! * [`kpca`] — kernel principal component analysis;
 //! * [`kkmeans`] — kernel k-means clustering.
+//!
+//! Training and Gram post-processing are guarded: [`svm`] exposes
+//! [`svm::KernelSvm::try_train`] (budgeted SMO with perturbed-seed retries
+//! and a typed `NonConvergence` diagnostic) and [`gram`] exposes
+//! `try_normalize`/`try_center`, which surface NaN/∞ contamination as
+//! [`x2v_guard::GuardError::NumericFailure`] instead of silently poisoning
+//! every downstream decision value.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

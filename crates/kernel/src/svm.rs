@@ -6,9 +6,14 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use x2v_guard::{Budget, GuardError, Meter};
 use x2v_linalg::Matrix;
 
+/// The guarded-site name for SMO training.
+pub const SITE: &str = "svm/train";
+
 /// A trained binary kernel SVM.
+#[derive(Debug)]
 pub struct KernelSvm {
     /// Dual coefficients `α_i` (one per training point).
     pub alpha: Vec<f64>,
@@ -31,6 +36,10 @@ pub struct SvmConfig {
     pub max_iters: usize,
     /// RNG seed for the second-coordinate choice.
     pub seed: u64,
+    /// How many times training restarts with a perturbed seed when SMO
+    /// hits `max_iters` without satisfying the KKT stopping criterion,
+    /// before the non-convergence diagnostic is surfaced.
+    pub retries: usize,
 }
 
 impl Default for SvmConfig {
@@ -41,27 +50,141 @@ impl Default for SvmConfig {
             max_passes: 8,
             max_iters: 2000,
             seed: 0x5eed,
+            retries: 2,
         }
     }
+}
+
+/// The outcome of one full training run (possibly with retries).
+struct TrainOutcome {
+    model: KernelSvm,
+    converged: bool,
+    total_iters: u64,
+    retries_used: u64,
 }
 
 impl KernelSvm {
     /// Trains on a training Gram matrix and `±1` labels via simplified SMO.
     ///
+    /// Metered against the ambient [`Budget`]. On non-convergence (after
+    /// the configured perturbed-seed retries) the best-effort model is
+    /// returned and `guard/degraded` is recorded — use
+    /// [`KernelSvm::try_train`] to surface the diagnostic instead.
+    ///
     /// # Panics
-    /// On shape mismatch or labels outside `{−1, +1}`.
+    /// On shape mismatch, labels outside `{−1, +1}`, non-finite kernel
+    /// values, or an ambient budget trip.
     pub fn train(gram: &Matrix, y: &[f64], config: SvmConfig) -> Self {
+        let budget = x2v_guard::ambient();
+        let outcome =
+            Self::train_outcome(gram, y, config, &budget).unwrap_or_else(|e| panic!("{e}"));
+        if !outcome.converged {
+            x2v_guard::note_degraded();
+        }
+        outcome.model
+    }
+
+    /// Trains within `budget`, surfacing every failure as a typed error.
+    ///
+    /// # Errors
+    /// [`GuardError::InvalidInput`] on shape/label violations,
+    /// [`GuardError::NumericFailure`] if an SMO error term goes non-finite,
+    /// [`GuardError::BudgetExhausted`] / [`GuardError::Cancelled`] when the
+    /// budget trips (one work unit per SMO coordinate step), and
+    /// [`GuardError::NonConvergence`] when `max_iters` sweeps (plus
+    /// `config.retries` perturbed-seed restarts, each recorded as
+    /// `guard/retries`) never satisfy the KKT criterion.
+    pub fn try_train(
+        gram: &Matrix,
+        y: &[f64],
+        config: SvmConfig,
+        budget: &Budget,
+    ) -> x2v_guard::Result<Self> {
+        let outcome = Self::train_outcome(gram, y, config, budget)?;
+        if !outcome.converged {
+            return Err(GuardError::NonConvergence {
+                site: SITE,
+                iterations: outcome.total_iters,
+                retries: outcome.retries_used,
+                detail: format!(
+                    "SMO hit the {}-sweep cap without {} stable passes (tol {}); \
+                     consider raising max_iters or loosening tol",
+                    config.max_iters, config.max_passes, config.tol
+                ),
+            });
+        }
+        Ok(outcome.model)
+    }
+
+    /// Runs SMO up to `1 + config.retries` times, perturbing the seed on
+    /// each non-convergent attempt.
+    fn train_outcome(
+        gram: &Matrix,
+        y: &[f64],
+        config: SvmConfig,
+        budget: &Budget,
+    ) -> x2v_guard::Result<TrainOutcome> {
         let _timer = x2v_obs::span("svm/train");
         let n = y.len();
-        assert_eq!(gram.rows(), n, "gram size mismatch");
-        assert!(gram.is_square(), "gram must be square");
-        assert!(
-            y.iter().all(|&l| l == 1.0 || l == -1.0),
-            "labels must be ±1"
-        );
+        if gram.rows() != n || !gram.is_square() {
+            return Err(GuardError::invalid_input(
+                SITE,
+                format!(
+                    "gram size mismatch: gram must be square of side {n} (got {}×{})",
+                    gram.rows(),
+                    gram.cols()
+                ),
+            ));
+        }
+        if !y.iter().all(|&l| l == 1.0 || l == -1.0) {
+            return Err(GuardError::invalid_input(SITE, "labels must be ±1"));
+        }
+        let mut meter = budget.meter(SITE);
+        let mut total_iters = 0u64;
+        let mut last = None;
+        for attempt in 0..=config.retries {
+            if attempt > 0 {
+                x2v_guard::note_retry();
+            }
+            // Golden-ratio stride keeps perturbed seeds well separated.
+            let seed = config
+                .seed
+                .wrapping_add((attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let (model, converged, iters) = Self::smo_attempt(gram, y, config, seed, &mut meter)?;
+            total_iters += iters;
+            let done = converged;
+            last = Some(TrainOutcome {
+                model,
+                converged,
+                total_iters,
+                retries_used: attempt as u64,
+            });
+            if done {
+                break;
+            }
+        }
+        let mut outcome = last.expect("loop body ran at least once for attempt 0");
+        outcome.total_iters = total_iters;
+        Ok(outcome)
+    }
+
+    /// One SMO run from a fresh `alpha = 0` start with the given seed.
+    ///
+    /// Returns `(model, converged, sweeps)` where `converged` means the
+    /// loop exited because `max_passes` consecutive sweeps changed nothing
+    /// (the KKT stopping criterion) rather than hitting the `max_iters`
+    /// cap. Charges one work unit per coordinate examined.
+    fn smo_attempt(
+        gram: &Matrix,
+        y: &[f64],
+        config: SvmConfig,
+        seed: u64,
+        meter: &mut Meter<'_>,
+    ) -> x2v_guard::Result<(KernelSvm, bool, u64)> {
+        let n = y.len();
         let mut alpha = vec![0.0f64; n];
         let mut b = 0.0f64;
-        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut rng = StdRng::seed_from_u64(seed);
         let f = |alpha: &[f64], b: f64, i: usize| -> f64 {
             let mut s = b;
             for j in 0..n {
@@ -75,9 +198,17 @@ impl KernelSvm {
         let mut iters = 0;
         while passes < config.max_passes && iters < config.max_iters {
             iters += 1;
+            meter.tick(n as u64)?;
+            meter.checkpoint()?;
             let mut changed = 0;
             for i in 0..n {
-                let ei = f(&alpha, b, i) - y[i];
+                let ei = x2v_guard::faults::poison_f64(SITE, f(&alpha, b, i) - y[i]);
+                if !ei.is_finite() {
+                    return Err(GuardError::numeric(
+                        SITE,
+                        format!("non-finite SMO error term at coordinate {i}"),
+                    ));
+                }
                 let violates = (y[i] * ei < -config.tol && alpha[i] < config.c)
                     || (y[i] * ei > config.tol && alpha[i] > 0.0);
                 if !violates {
@@ -142,11 +273,16 @@ impl KernelSvm {
         x2v_obs::counter_add("svm/iterations", iters as u64);
         let sv = alpha.iter().filter(|&&a| a > 1e-9).count();
         x2v_obs::observe("svm/support_vectors", sv as f64);
-        KernelSvm {
-            alpha,
-            bias: b,
-            labels: y.to_vec(),
-        }
+        let converged = passes >= config.max_passes;
+        Ok((
+            KernelSvm {
+                alpha,
+                bias: b,
+                labels: y.to_vec(),
+            },
+            converged,
+            iters as u64,
+        ))
     }
 
     /// Decision value for a query given its kernel row against the training
@@ -379,5 +515,104 @@ mod tests {
     #[should_panic(expected = "labels must be ±1")]
     fn bad_labels_rejected() {
         let _ = KernelSvm::train(&Matrix::identity(2), &[0.0, 1.0], SvmConfig::default());
+    }
+
+    #[test]
+    fn try_train_rejects_non_square_gram() {
+        let gram = Matrix::zeros(2, 3);
+        let err = KernelSvm::try_train(
+            &gram,
+            &[1.0, -1.0],
+            SvmConfig::default(),
+            &Budget::unlimited(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, GuardError::InvalidInput { .. }), "{err}");
+    }
+
+    #[test]
+    fn try_train_matches_infallible_when_unlimited() {
+        let pts = vec![
+            vec![2.0, 2.0],
+            vec![3.0, 2.5],
+            vec![-2.0, -2.0],
+            vec![-3.0, -2.5],
+        ];
+        let y = vec![1.0, 1.0, -1.0, -1.0];
+        let gram = gram_of(&pts);
+        let a = KernelSvm::train(&gram, &y, SvmConfig::default());
+        let b = KernelSvm::try_train(&gram, &y, SvmConfig::default(), &Budget::unlimited())
+            .expect("separable problem converges");
+        assert_eq!(a.alpha, b.alpha);
+        assert_eq!(a.bias, b.bias);
+    }
+
+    #[test]
+    fn budget_trips_with_typed_error() {
+        let pts = vec![
+            vec![2.0, 2.0],
+            vec![3.0, 2.5],
+            vec![-2.0, -2.0],
+            vec![-3.0, -2.5],
+        ];
+        let y = vec![1.0, 1.0, -1.0, -1.0];
+        let err = KernelSvm::try_train(
+            &gram_of(&pts),
+            &y,
+            SvmConfig::default(),
+            &Budget::unlimited().with_work_limit(3),
+        )
+        .unwrap_err();
+        assert!(matches!(err, GuardError::BudgetExhausted { .. }), "{err}");
+    }
+
+    #[test]
+    fn non_convergence_reports_retries() {
+        // A hostile Gram matrix (indefinite, mismatched labels) that SMO
+        // cannot satisfy within a tiny sweep cap, forcing every retry.
+        let mut gram = Matrix::zeros(4, 4);
+        for i in 0..4 {
+            for j in 0..4 {
+                gram[(i, j)] = if i == j { -1.0 } else { 1.0 };
+            }
+        }
+        let y = vec![1.0, -1.0, 1.0, -1.0];
+        let config = SvmConfig {
+            max_iters: 2,
+            max_passes: 8,
+            retries: 2,
+            ..Default::default()
+        };
+        match KernelSvm::try_train(&gram, &y, config, &Budget::unlimited()) {
+            Err(GuardError::NonConvergence {
+                retries,
+                iterations,
+                ..
+            }) => {
+                assert_eq!(retries, 2);
+                assert_eq!(iterations, 6); // 2 sweeps × 3 attempts
+            }
+            other => panic!("expected NonConvergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infallible_train_degrades_instead_of_failing() {
+        // Same hostile instance: the panicking API must still return a
+        // best-effort model (recorded as guard/degraded) rather than abort.
+        let mut gram = Matrix::zeros(4, 4);
+        for i in 0..4 {
+            for j in 0..4 {
+                gram[(i, j)] = if i == j { -1.0 } else { 1.0 };
+            }
+        }
+        let y = vec![1.0, -1.0, 1.0, -1.0];
+        let config = SvmConfig {
+            max_iters: 2,
+            retries: 1,
+            ..Default::default()
+        };
+        let model = KernelSvm::train(&gram, &y, config);
+        assert_eq!(model.alpha.len(), 4);
     }
 }

@@ -14,11 +14,16 @@
 use crate::interner::{Colour, ColourInterner};
 use x2v_graph::hash::FxHashMap;
 use x2v_graph::Graph;
+use x2v_guard::{Budget, GuardError, Meter};
 
 const TAG_KWL_INIT: u64 = 20;
 const TAG_KWL: u64 = 21;
 
+/// The guarded-site name for k-WL refinement.
+pub const SITE: &str = "wl/kwl";
+
 /// A k-WL run on one graph.
+#[derive(Debug)]
 pub struct KwlColouring {
     /// Colour per tuple (tuples indexed in row-major order over `V^k`).
     pub colours: Vec<Colour>,
@@ -71,10 +76,32 @@ impl KwlRefiner {
         self.k
     }
 
-    fn atomic_colours(&mut self, g: &Graph) -> Vec<Colour> {
+    /// Number of k-tuples over `n` vertices, or `InvalidInput` when `n^k`
+    /// does not fit the address space (the table could never be allocated).
+    fn tuple_count(&self, n: usize) -> x2v_guard::Result<usize> {
+        n.checked_pow(self.k as u32).ok_or_else(|| {
+            GuardError::invalid_input(
+                SITE,
+                format!(
+                    "n^k = {n}^{} overflows usize; this instance is far beyond k-WL's O(n^(k+1)) reach",
+                    self.k
+                ),
+            )
+        })
+    }
+
+    fn atomic_colours(
+        &mut self,
+        g: &Graph,
+        meter: &mut Meter<'_>,
+    ) -> x2v_guard::Result<Vec<Colour>> {
         let n = g.order();
         let k = self.k;
-        let total = n.pow(k as u32);
+        let total = self.tuple_count(n)?;
+        // Charge the whole init phase up front, before the O(n^k) table is
+        // allocated: a work-limited budget rejects oversized instances
+        // without touching memory.
+        meter.tick(total as u64)?;
         let mut tuple = vec![0usize; k];
         let mut out = Vec::with_capacity(total);
         for idx in 0..total {
@@ -108,10 +135,15 @@ impl KwlRefiner {
             sig.push(adj_bits);
             out.push(self.interner.intern(sig));
         }
-        out
+        Ok(out)
     }
 
-    fn refine_once(&mut self, n: usize, prev: &[Colour]) -> Vec<Colour> {
+    fn refine_once(
+        &mut self,
+        n: usize,
+        prev: &[Colour],
+        meter: &mut Meter<'_>,
+    ) -> x2v_guard::Result<Vec<Colour>> {
         let k = self.k;
         // powers[i] = n^(k-1-i): stride of position i in the tuple index.
         let mut powers = vec![1usize; k];
@@ -122,6 +154,10 @@ impl KwlRefiner {
         let mut out = Vec::with_capacity(total);
         let mut rows: Vec<Vec<Colour>> = Vec::with_capacity(n);
         for idx in 0..total {
+            // One tuple refinement = one work unit (its true cost is
+            // O(n·k), but unit-per-tuple keeps ticks deterministic and
+            // cheap relative to the row gathering below).
+            meter.tick(1)?;
             // Entry values of this tuple.
             let mut entries = vec![0usize; k];
             let mut rest = idx;
@@ -147,19 +183,39 @@ impl KwlRefiner {
             }
             out.push(self.interner.intern(sig));
         }
-        out
+        Ok(out)
     }
 
     /// Runs k-WL on `g` to stability.
+    ///
+    /// Metered against the ambient [`Budget`]; panics with an actionable
+    /// message when it trips (use [`KwlRefiner::try_run`] for a
+    /// recoverable error).
     pub fn run(&mut self, g: &Graph) -> KwlColouring {
+        let budget = x2v_guard::ambient();
+        self.try_run(g, &budget).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs k-WL on `g` to stability within `budget`. One work unit is one
+    /// tuple (re)colouring, so `n^k` units per round plus `n^k` for the
+    /// atomic initialisation.
+    ///
+    /// # Errors
+    /// [`GuardError::BudgetExhausted`] / [`GuardError::Cancelled`] when the
+    /// budget trips; [`GuardError::InvalidInput`] when `n^k` overflows.
+    pub fn try_run(&mut self, g: &Graph, budget: &Budget) -> x2v_guard::Result<KwlColouring> {
         let _timer = x2v_obs::span("wl/kwl_run");
         let n = g.order();
-        let mut colours = self.atomic_colours(g);
+        let mut meter = budget.meter(SITE);
+        let mut colours = self.atomic_colours(g, &mut meter)?;
         x2v_obs::counter_add("wl/kwl_tuples", colours.len() as u64);
         let mut classes = distinct(&colours);
         let mut rounds = 0;
         loop {
-            let next = self.refine_once(n, &colours);
+            // Deadline/cancel poll at round granularity: rounds are the
+            // coarse unit of progress, and n^k ticks may be sparse checks.
+            meter.checkpoint()?;
+            let next = self.refine_once(n, &colours, &mut meter)?;
             let next_classes = distinct(&next);
             colours = next;
             if next_classes == classes {
@@ -169,27 +225,44 @@ impl KwlRefiner {
             rounds += 1;
         }
         x2v_obs::observe("wl/kwl_rounds_to_stability", rounds as f64);
-        KwlColouring {
+        Ok(KwlColouring {
             colours,
             rounds,
             k: self.k,
             n,
-        }
+        })
     }
 
     /// Runs exactly `rounds` refinement rounds (after atomic init).
     pub fn run_rounds(&mut self, g: &Graph, rounds: usize) -> KwlColouring {
+        let budget = x2v_guard::ambient();
+        self.try_run_rounds(g, rounds, &budget)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs exactly `rounds` refinement rounds within `budget`.
+    ///
+    /// # Errors
+    /// As for [`KwlRefiner::try_run`].
+    pub fn try_run_rounds(
+        &mut self,
+        g: &Graph,
+        rounds: usize,
+        budget: &Budget,
+    ) -> x2v_guard::Result<KwlColouring> {
         let n = g.order();
-        let mut colours = self.atomic_colours(g);
+        let mut meter = budget.meter(SITE);
+        let mut colours = self.atomic_colours(g, &mut meter)?;
         for _ in 0..rounds {
-            colours = self.refine_once(n, &colours);
+            meter.checkpoint()?;
+            colours = self.refine_once(n, &colours, &mut meter)?;
         }
-        KwlColouring {
+        Ok(KwlColouring {
             colours,
             rounds,
             k: self.k,
             n,
-        }
+        })
     }
 
     /// Whether k-WL distinguishes `g` and `h`. The two tuple colourings are
@@ -197,16 +270,34 @@ impl KwlRefiner {
     /// graph's own partition can stabilise before the colours of the two
     /// graphs stop diverging.
     pub fn distinguishes(&mut self, g: &Graph, h: &Graph) -> bool {
+        let budget = x2v_guard::ambient();
+        self.try_distinguishes(g, h, &budget)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Whether k-WL distinguishes `g` and `h`, within `budget` (shared
+    /// across both graphs' refinements).
+    ///
+    /// # Errors
+    /// As for [`KwlRefiner::try_run`].
+    pub fn try_distinguishes(
+        &mut self,
+        g: &Graph,
+        h: &Graph,
+        budget: &Budget,
+    ) -> x2v_guard::Result<bool> {
         if g.order() != h.order() {
-            return true;
+            return Ok(true);
         }
         let n = g.order();
-        let mut cg = self.atomic_colours(g);
-        let mut ch = self.atomic_colours(h);
+        let mut meter = budget.meter(SITE);
+        let mut cg = self.atomic_colours(g, &mut meter)?;
+        let mut ch = self.atomic_colours(h, &mut meter)?;
         let mut classes = joint_distinct(&cg, &ch);
         loop {
-            let ng = self.refine_once(n, &cg);
-            let nh = self.refine_once(n, &ch);
+            meter.checkpoint()?;
+            let ng = self.refine_once(n, &cg, &mut meter)?;
+            let nh = self.refine_once(n, &ch, &mut meter)?;
             let next = joint_distinct(&ng, &nh);
             cg = ng;
             ch = nh;
@@ -215,7 +306,7 @@ impl KwlRefiner {
             }
             classes = next;
         }
-        histogram_of(&cg) != histogram_of(&ch)
+        Ok(histogram_of(&cg) != histogram_of(&ch))
     }
 }
 
@@ -309,5 +400,30 @@ mod tests {
     #[should_panic(expected = "use crate::refine for 1-WL")]
     fn k1_rejected() {
         let _ = KwlRefiner::new(1);
+    }
+
+    #[test]
+    fn budgeted_run_trips_and_unlimited_agrees() {
+        use x2v_guard::{Budget, GuardError};
+        let g = cycle(6);
+        let mut k2 = KwlRefiner::new(2);
+        // 6² = 36 tuples: a 10-unit budget cannot even finish atomic init.
+        let err = k2
+            .try_run(&g, &Budget::unlimited().with_work_limit(10))
+            .unwrap_err();
+        assert!(matches!(err, GuardError::BudgetExhausted { .. }));
+        let full = k2.try_run(&g, &Budget::unlimited()).unwrap();
+        let reference = KwlRefiner::new(2).run(&g);
+        assert_eq!(full.histogram().len(), reference.histogram().len());
+        assert_eq!(full.rounds, reference.rounds);
+    }
+
+    #[test]
+    fn budgeted_distinguishes_matches() {
+        use x2v_guard::Budget;
+        let mut k2 = KwlRefiner::new(2);
+        let a = circulant(8, &[1, 2]);
+        let b = circulant(8, &[1, 3]);
+        assert!(k2.try_distinguishes(&a, &b, &Budget::unlimited()).unwrap());
     }
 }

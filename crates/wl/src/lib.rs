@@ -25,6 +25,12 @@
 //! directly comparable* — the property that makes WL kernels a sparse dot
 //! product and `distinguishes` a histogram comparison.
 //!
+//! The `n^k` tuple universe of [`kwl`] is the crate's exponential hot
+//! path: [`kwl::KwlRefiner::try_run`] meters it against an
+//! [`x2v_guard::Budget`] — charging the full table size *before*
+//! allocating it — so oversized instances fail fast with a typed error
+//! instead of aborting on out-of-memory.
+//!
 //! ```
 //! use x2v_graph::{generators::cycle, ops::disjoint_union};
 //! use x2v_wl::Refiner;

@@ -1,0 +1,110 @@
+//! Deterministic fault-injection sweep: every degradation path in the
+//! workspace is forced to fire on small, fast inputs via `guard::faults`,
+//! and the `guard/*` obs counters are checked in the resulting report.
+//!
+//! Fault slots and obs counters are process-global, so the whole sweep
+//! runs inside ONE `#[test]` — parallel test threads must never interleave
+//! an `inject` with another scenario's `clear`.
+
+use x2v_graph::generators::{complete, cycle, petersen};
+use x2v_guard::faults::{self, FaultKind};
+use x2v_guard::{Budget, GuardError};
+use x2v_hom::treewidth::{treewidth_budgeted, TreewidthQuality};
+use x2v_hom::{brute, decomp};
+use x2v_kernel::svm::{KernelSvm, SvmConfig};
+use x2v_linalg::Matrix;
+use x2v_wl::kwl::KwlRefiner;
+
+#[test]
+fn every_degradation_path_fires_under_injected_faults() {
+    // Collect counters for the report assertion at the end.
+    x2v_obs::set_enabled(true);
+    faults::clear();
+    let unlimited = Budget::unlimited();
+    let small = cycle(4);
+    let k4 = complete(4);
+
+    // 1. Forced budget exhaustion at the brute-force counter: a tiny
+    // instance that normally finishes instantly reports the typed error.
+    faults::inject(FaultKind::Budget, brute::SITE, 1);
+    match brute::try_hom_count(&small, &k4, &unlimited) {
+        Err(GuardError::BudgetExhausted { site, .. }) => assert_eq!(site, brute::SITE),
+        other => panic!("expected BudgetExhausted, got {other:?}"),
+    }
+    faults::clear();
+    // Sanity: with the fault cleared the same call succeeds.
+    // hom(C4, K4) = tr(A^4) = 3^4 + 3·(−1)^4 = 84.
+    assert_eq!(brute::try_hom_count(&small, &k4, &unlimited).unwrap(), 84);
+
+    // 2. Forced trip inside the exact treewidth DP: the budgeted wrapper
+    // degrades to the greedy upper bound instead of failing.
+    faults::inject(FaultKind::Budget, x2v_hom::treewidth::SITE, 1);
+    let (tw, order, quality) = treewidth_budgeted(&petersen(), &unlimited);
+    faults::clear();
+    assert_eq!(quality, TreewidthQuality::UpperBound);
+    assert_eq!(order.len(), 10);
+    assert!(tw >= 3, "Petersen has treewidth 4; got upper bound {tw}");
+
+    // 3. Forced trip in the tree-decomposition DP.
+    faults::inject(FaultKind::Budget, decomp::SITE, 1);
+    let res = decomp::try_hom_count_decomp(&x2v_graph::generators::path(3), &k4, &unlimited);
+    faults::clear();
+    assert!(
+        matches!(res, Err(GuardError::BudgetExhausted { .. })),
+        "got {res:?}"
+    );
+
+    // 4. Forced cancellation of a k-WL run.
+    faults::inject(FaultKind::Cancel, x2v_wl::kwl::SITE, 1);
+    let res = KwlRefiner::new(2).try_run(&small, &unlimited);
+    faults::clear();
+    assert!(
+        matches!(res, Err(GuardError::Cancelled { .. })),
+        "got {res:?}"
+    );
+
+    // 5. NaN poisoning of Gram post-processing: both normalisation and
+    // centering surface NumericFailure on otherwise-clean input.
+    let clean = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 9.0]]);
+    faults::inject_nan(x2v_kernel::gram::SITE, 1);
+    let res = x2v_kernel::gram::try_normalize(&clean);
+    faults::clear();
+    assert!(
+        matches!(res, Err(GuardError::NumericFailure { .. })),
+        "got {res:?}"
+    );
+    faults::inject_nan(x2v_kernel::gram::SITE, 1);
+    let res = x2v_kernel::gram::try_center(&clean);
+    faults::clear();
+    assert!(
+        matches!(res, Err(GuardError::NumericFailure { .. })),
+        "got {res:?}"
+    );
+
+    // 6. NaN poisoning of the SMO error term on a separable problem.
+    let gram = Matrix::from_rows(&[&[2.0, -1.0], &[-1.0, 2.0]]);
+    faults::inject_nan(x2v_kernel::svm::SITE, 1);
+    let res = KernelSvm::try_train(&gram, &[1.0, -1.0], SvmConfig::default(), &unlimited);
+    faults::clear();
+    assert!(
+        matches!(res, Err(GuardError::NumericFailure { .. })),
+        "got {res:?}"
+    );
+
+    // 7. Forced budget trip in word2vec: graceful early stop, not a panic —
+    // the returned model is the (deterministic) initialisation.
+    faults::inject(FaultKind::Budget, x2v_embed::word2vec::SITE, 1);
+    let corpus = vec![vec![0usize, 1, 2], vec![2, 1, 0]];
+    let cfg = x2v_embed::word2vec::SgnsConfig::default();
+    let model = x2v_embed::word2vec::Word2Vec::train(&corpus, 3, &cfg);
+    faults::clear();
+    assert_eq!(model.vector(0).len(), cfg.dim);
+
+    // Every forced fault above must be visible in the obs report.
+    let report = x2v_obs::report("guard_faults_sweep");
+    let counter = |name: &str| report.counters.get(name).copied().unwrap_or(0);
+    assert!(counter("guard/faults_injected") >= 7, "report: {report:?}");
+    assert!(counter("guard/budget_exhausted") >= 3, "report: {report:?}");
+    assert!(counter("guard/cancelled") >= 1, "report: {report:?}");
+    assert!(counter("guard/degraded") >= 2, "report: {report:?}");
+}

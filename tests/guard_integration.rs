@@ -1,0 +1,169 @@
+//! Workspace-level robustness tests for the x2v-guard layer: budget
+//! determinism, the oversized-instance acceptance scenario, and the
+//! ambient escape hatch.
+//!
+//! All tests here use *explicit* budgets except the one ambient test,
+//! which is self-contained (install → observe → clear) so the global
+//! ambient slot never leaks into the other tests of this binary.
+
+use std::time::Instant;
+use x2v_graph::generators::{complete, cycle, petersen};
+use x2v_graph::ops::disjoint_union;
+use x2v_guard::{Budget, CancelToken, GuardError};
+use x2v_hom::brute;
+use x2v_hom::treewidth::{treewidth_budgeted, TreewidthQuality};
+
+/// Ten vertices mapped into forty: a 40^10 assignment space no budgetless
+/// run could ever finish.
+fn oversized_instance() -> (x2v_graph::Graph, x2v_graph::Graph) {
+    let frame = petersen();
+    let target = disjoint_union(
+        &disjoint_union(&complete(10), &complete(10)),
+        &disjoint_union(&complete(10), &complete(10)),
+    );
+    (frame, target)
+}
+
+/// Acceptance scenario from the issue: the oversized instance under a
+/// 50 ms wall-clock budget must surface `BudgetExhausted` within twice
+/// the deadline instead of hanging.
+#[test]
+fn oversized_hom_count_stops_within_twice_the_deadline() {
+    let (frame, target) = oversized_instance();
+    let deadline_ms = 50u64;
+    let start = Instant::now();
+    let res = brute::try_hom_count(
+        &frame,
+        &target,
+        &Budget::unlimited().with_deadline_ms(deadline_ms),
+    );
+    let elapsed_ms = start.elapsed().as_millis();
+    match res {
+        Err(GuardError::BudgetExhausted {
+            site,
+            work_done,
+            elapsed_ms: Some(reported_ms),
+            ..
+        }) => {
+            assert_eq!(site, brute::SITE);
+            assert!(work_done > 0, "some work must be accounted before the trip");
+            assert!(reported_ms <= 2 * deadline_ms, "reported {reported_ms} ms");
+        }
+        other => panic!("expected BudgetExhausted, got {other:?}"),
+    }
+    assert!(
+        elapsed_ms <= 2 * u128::from(deadline_ms),
+        "took {elapsed_ms} ms against a {deadline_ms} ms deadline"
+    );
+}
+
+/// Same work-unit budget ⇒ the stop happens at the identical work unit
+/// with the identical partial result, run after run.
+#[test]
+fn work_limited_runs_are_deterministic() {
+    let (frame, target) = oversized_instance();
+    for limit in [1_000u64, 25_000, 250_000] {
+        let budget = Budget::unlimited().with_work_limit(limit);
+        let a = brute::hom_count_partial(&frame, &target, &budget);
+        let b = brute::hom_count_partial(&frame, &target, &budget);
+        assert!(!a.complete, "limit {limit} must not finish 40^10");
+        assert_eq!(a.work_done, b.work_done, "limit {limit}");
+        assert_eq!(a.value, b.value, "limit {limit}");
+        // The typed error reports the same deterministic stopping point.
+        match brute::try_hom_count(&frame, &target, &budget) {
+            Err(GuardError::BudgetExhausted { work_done, .. }) => {
+                assert_eq!(work_done, a.work_done, "limit {limit}");
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+    }
+}
+
+/// Larger budgets strictly extend the same deterministic traversal: the
+/// partial count is monotone in the work limit.
+#[test]
+fn partial_counts_are_monotone_in_the_budget() {
+    let (frame, target) = oversized_instance();
+    let mut prev = None;
+    for limit in [10_000u64, 40_000, 160_000] {
+        let p =
+            brute::hom_count_partial(&frame, &target, &Budget::unlimited().with_work_limit(limit));
+        if let Some((pw, pv)) = prev {
+            assert!(p.work_done >= pw && p.value >= pv);
+        }
+        prev = Some((p.work_done, p.value));
+    }
+}
+
+/// Cancellation from another thread unwinds the backtracker cleanly and
+/// promptly with the typed error.
+#[test]
+fn cross_thread_cancellation_unwinds() {
+    let (frame, target) = oversized_instance();
+    let token = CancelToken::new();
+    let budget = Budget::unlimited().with_cancel(token.clone());
+    let canceller = {
+        let token = token.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            token.cancel();
+        })
+    };
+    let res = brute::try_hom_count(&frame, &target, &budget);
+    canceller.join().expect("canceller thread");
+    assert!(
+        matches!(res, Err(GuardError::Cancelled { .. })),
+        "got {res:?}"
+    );
+}
+
+/// Degradation keeps composite pipelines alive: a graph beyond the exact
+/// treewidth DP still yields a usable (upper-bound) decomposition order.
+#[test]
+fn treewidth_pipeline_survives_oversized_graphs() {
+    let big = cycle(30); // 30 vertices > the exact DP's 24-vertex range
+    let (tw, order, quality) = treewidth_budgeted(&big, &Budget::unlimited());
+    assert_eq!(quality, TreewidthQuality::UpperBound);
+    assert_eq!(order.len(), 30);
+    assert!(
+        tw >= 2,
+        "a cycle has treewidth 2; an upper bound can't be less"
+    );
+}
+
+/// The ambient escape hatch end to end: install → infallible wrappers
+/// panic with the typed message → clear restores unlimited behaviour.
+/// Also covers word2vec's graceful early stop, which reads the same
+/// ambient budget. Single test so the global slot never races.
+#[test]
+fn ambient_budget_escape_hatch() {
+    let (frame, target) = oversized_instance();
+
+    // Word2vec degrades (returns the vectors trained so far) rather than
+    // panicking: SGD is an anytime algorithm.
+    let corpus = vec![vec![0usize, 1, 2, 3]; 8];
+    x2v_guard::install_ambient(Budget::unlimited().with_work_limit(1));
+    let model = x2v_embed::word2vec::Word2Vec::train(
+        &corpus,
+        4,
+        &x2v_embed::word2vec::SgnsConfig::default(),
+    );
+    assert_eq!(
+        model.vector(0).len(),
+        x2v_embed::word2vec::SgnsConfig::default().dim
+    );
+
+    // Exact counting panics with the typed diagnostic instead of hanging.
+    x2v_guard::install_ambient(Budget::unlimited().with_work_limit(10_000));
+    let panic = std::panic::catch_unwind(|| brute::hom_count(&frame, &target));
+    x2v_guard::clear_ambient();
+    let msg = *panic
+        .expect_err("10k work units cannot finish 40^10")
+        .downcast::<String>()
+        .expect("panic payload is the formatted GuardError");
+    assert!(msg.contains("budget exhausted"), "panic message: {msg}");
+    assert!(msg.contains(brute::SITE), "panic message: {msg}");
+
+    // After clearing, small counts run unbudgeted again.
+    assert_eq!(brute::hom_count(&cycle(3), &complete(3)), 6);
+}
