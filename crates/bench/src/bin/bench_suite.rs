@@ -1,0 +1,70 @@
+//! Deterministic perf-regression suite.
+//!
+//! ```text
+//! bench_suite [--smoke] [--reps N] [--warmup N] [--out PATH]
+//! bench_suite diff <baseline.json> <candidate.json> [--threshold-pct P] [--informational]
+//! ```
+//!
+//! Runs fixed-seed workloads across the workspace's hot subsystems and
+//! writes a schema-versioned `BENCH_<n>.json` report (first free index in
+//! the current directory unless `--out` is given). The `diff` subcommand
+//! compares two reports and exits non-zero on gating median regressions —
+//! see `docs/bench-schema.md` for the file format and the regression rule.
+
+use x2v_bench::suite::{
+    diff_main, next_report_path, render_table, report_json, run_suite, SuiteConfig,
+};
+use x2v_bench::ObsRun;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("diff") {
+        std::process::exit(diff_main(&args[1..]));
+    }
+
+    let mut cfg = SuiteConfig::full();
+    let mut out_path: Option<std::path::PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--smoke" => cfg = SuiteConfig::smoke(),
+            "--reps" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.reps = n,
+                None => usage_error("--reps requires a positive integer"),
+            },
+            "--warmup" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.warmup = n,
+                None => usage_error("--warmup requires an integer"),
+            },
+            "--out" => match iter.next() {
+                Some(p) => out_path = Some(p.into()),
+                None => usage_error("--out requires a path"),
+            },
+            "--budget-ms" => {
+                iter.next(); // consumed by ObsRun's ambient-budget scan
+            }
+            other if other.starts_with("--budget-ms=") => {}
+            other => usage_error(&format!("unknown argument {other}")),
+        }
+    }
+
+    let _obs = ObsRun::new("bench_suite");
+    let results = run_suite(&cfg);
+    print!("{}", render_table(&results));
+
+    let path = out_path.unwrap_or_else(|| next_report_path(std::path::Path::new(".")));
+    let json = report_json(&results, &cfg);
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("bench_suite: cannot write {}: {e}", path.display());
+        std::process::exit(2);
+    }
+    println!("wrote {}", path.display());
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("bench_suite: {msg}");
+    eprintln!(
+        "usage: bench_suite [--smoke] [--reps N] [--warmup N] [--out PATH] | bench_suite diff ..."
+    );
+    std::process::exit(2);
+}

@@ -8,6 +8,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod harness;
+pub mod suite;
 
 /// RAII guard that finalises the instrumentation report of one experiment.
 ///
@@ -16,15 +17,29 @@ pub mod harness;
 /// and/or printed as a table, according to the `X2V_OBS` environment
 /// variable (no-op when observability is off).
 ///
-/// Creating the guard also arms the workspace-wide budget escape hatch:
-/// a `--budget-ms N` argument (or the `X2V_BUDGET_MS` environment
-/// variable; the argument wins) installs an ambient [`x2v_guard::Budget`]
-/// wall-clock deadline, so every `exp_*` binary can be bounded without
-/// per-binary plumbing. A budget trip panics with the typed diagnostic;
-/// the panic unwinds through `main`, so this guard still drops and the
-/// partial obs report — including the `guard/*` counters — is written.
+/// Creating the guard also:
+///
+/// * arms the workspace-wide budget escape hatch: a `--budget-ms N`
+///   argument (or the `X2V_BUDGET_MS` environment variable; the argument
+///   wins) installs an ambient [`x2v_guard::Budget`] wall-clock deadline,
+///   so every `exp_*` binary can be bounded without per-binary plumbing.
+///   A budget trip panics with the typed diagnostic; the panic unwinds
+///   through `main`, so this guard still drops and the partial obs report
+///   — including the `guard/*` counters — is written;
+/// * initialises event tracing from `X2V_TRACE` (see `x2v-prof`): with
+///   tracing on, every instrumented call site streams begin/end events
+///   and the guard writes `target/trace/<run>.trace.json` on drop;
+/// * switches on allocation counting whenever metrics or tracing are
+///   collected, so `alloc/*` counters land in the report.
+///
+/// On drop the guard records run-level comparability metrics before
+/// finalising: `run/wall_ms` (whole-run wall time) and, on Linux,
+/// `run/peak_rss_bytes` (`VmHWM` from `/proc/self/status`; silently
+/// skipped elsewhere).
 pub struct ObsRun {
     run: &'static str,
+    start: std::time::Instant,
+    tracing: bool,
 }
 
 impl ObsRun {
@@ -34,13 +49,60 @@ impl ObsRun {
             x2v_guard::install_ambient(x2v_guard::Budget::unlimited().with_deadline_ms(ms));
             eprintln!("[{run}] ambient budget installed: {ms} ms wall clock");
         }
-        ObsRun { run }
+        let tracing = x2v_prof::init_from_env();
+        if tracing || x2v_obs::enabled() {
+            x2v_prof::set_alloc_counting(true);
+        }
+        ObsRun {
+            run,
+            start: std::time::Instant::now(),
+            tracing,
+        }
     }
 }
 
 impl Drop for ObsRun {
     fn drop(&mut self) {
+        let wall_ms = u64::try_from(self.start.elapsed().as_millis()).unwrap_or(u64::MAX);
+        x2v_obs::counter_add("run/wall_ms", wall_ms);
+        if let Some(rss) = peak_rss_bytes() {
+            x2v_obs::counter_add("run/peak_rss_bytes", rss);
+        }
+        if x2v_prof::alloc_counting_enabled() {
+            let a = x2v_prof::alloc_snapshot();
+            x2v_obs::counter_add("alloc/allocs", a.allocs);
+            x2v_obs::counter_add("alloc/frees", a.frees);
+            x2v_obs::counter_add("alloc/bytes", a.bytes);
+            x2v_obs::counter_add("alloc/peak_bytes", a.peak_bytes);
+        }
         x2v_obs::finish(self.run);
+        if self.tracing {
+            match x2v_prof::write_trace(self.run) {
+                Ok(path) => eprintln!("[x2v-prof] wrote trace {}", path.display()),
+                Err(e) => eprintln!("[x2v-prof] failed to write trace: {e}"),
+            }
+        }
+    }
+}
+
+/// Peak resident set size of this process in bytes, from `VmHWM` in
+/// `/proc/self/status`. `None` on platforms without procfs (the caller
+/// silently skips the metric there) or if the field is absent.
+pub fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+                return Some(kb * 1024);
+            }
+        }
+        None
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
     }
 }
 

@@ -1,0 +1,75 @@
+//! End-to-end checks on the perf-regression suite: the smoke suite
+//! produces the same bench keys on every run (deterministic report
+//! shape), the report roundtrips through the JSON loader, and the diff
+//! gate fires exactly when a median is synthetically inflated.
+
+use x2v_bench::suite::{
+    diff_reports, parse_report, report_json, run_suite, SuiteConfig, BENCH_SCHEMA,
+};
+
+#[test]
+fn smoke_suite_has_stable_shape_and_gates_on_inflation() {
+    let cfg = SuiteConfig::smoke();
+
+    let first = run_suite(&cfg);
+    let second = run_suite(&cfg);
+
+    // At least the seven subsystems the roadmap names, same keys each run.
+    assert!(
+        first.len() >= 7,
+        "expected >= 7 benches, got {}",
+        first.len()
+    );
+    let keys = |rs: &[x2v_bench::suite::BenchResult]| rs.iter().map(|r| r.name).collect::<Vec<_>>();
+    assert_eq!(keys(&first), keys(&second), "bench keys must be stable");
+    let subsystems: std::collections::BTreeSet<&str> = first
+        .iter()
+        .map(|r| r.name.split('/').next().unwrap())
+        .collect();
+    assert!(
+        subsystems.len() >= 5,
+        "benches must span distinct subsystems: {subsystems:?}"
+    );
+
+    // Work checksums are deterministic across whole suite runs, not just
+    // reps within one run.
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(a.work, b.work, "{} output changed between runs", a.name);
+    }
+
+    // Roundtrip: serialise, parse back, keys and medians survive.
+    let json = report_json(&first, &cfg);
+    let loaded = parse_report(&json).expect("generated report must parse");
+    assert_eq!(loaded.schema, BENCH_SCHEMA);
+    assert_eq!(loaded.mode, "smoke");
+    assert_eq!(loaded.benches.len(), first.len());
+    for r in &first {
+        assert_eq!(
+            loaded.benches[r.name].median_ns, r.median_ns as f64,
+            "median for {} must roundtrip",
+            r.name
+        );
+    }
+
+    // Self-diff is clean.
+    let self_diff = diff_reports(&loaded, &loaded, 20.0);
+    assert!(
+        !self_diff.failed(),
+        "a report must never regress against itself"
+    );
+
+    // Inflating one median x10 (beyond threshold and noise floor) gates.
+    let mut inflated = loaded.clone();
+    let victim = first[0].name.to_string();
+    let entry = inflated.benches.get_mut(&victim).unwrap();
+    entry.median_ns *= 10.0;
+    let diff = diff_reports(&loaded, &inflated, 20.0);
+    assert!(diff.failed(), "x10 inflation must gate");
+    assert_eq!(diff.regressions.len(), 1);
+    assert_eq!(diff.regressions[0].name, victim);
+
+    // The same comparison reversed is an improvement, which never gates.
+    let rev = diff_reports(&inflated, &loaded, 20.0);
+    assert!(!rev.failed());
+    assert_eq!(rev.improvements.len(), 1);
+}

@@ -190,6 +190,7 @@ impl Meter<'_> {
     fn forced_fault(&mut self, kind: FaultKind) -> GuardError {
         self.forced = None;
         x2v_obs::counter_add("guard/faults_injected", 1);
+        x2v_obs::mark("guard/fault_injected");
         match kind {
             FaultKind::Budget => self.exhausted(),
             FaultKind::Cancel => self.cancelled(),
@@ -213,6 +214,7 @@ impl Meter<'_> {
     #[cold]
     fn exhausted(&self) -> GuardError {
         x2v_obs::counter_add("guard/budget_exhausted", 1);
+        x2v_obs::mark("guard/budget_exhausted");
         GuardError::BudgetExhausted {
             site: self.site,
             work_done: self.work,
@@ -227,6 +229,7 @@ impl Meter<'_> {
     #[cold]
     fn cancelled(&self) -> GuardError {
         x2v_obs::counter_add("guard/cancelled", 1);
+        x2v_obs::mark("guard/cancelled");
         GuardError::Cancelled {
             site: self.site,
             work_done: self.work,
@@ -282,6 +285,7 @@ impl<T> Partial<T> {
 /// returned a partial result, or stopped an iterative refinement early).
 pub fn note_degraded() {
     x2v_obs::counter_add("guard/degraded", 1);
+    x2v_obs::mark("guard/degraded");
 }
 
 /// Records one retry of a guarded computation.

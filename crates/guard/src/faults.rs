@@ -172,6 +172,7 @@ pub fn poison_f64(site: &str, value: f64) -> f64 {
         if slot.calls == slot.at {
             slot.fired = true;
             x2v_obs::counter_add("guard/faults_injected", 1);
+            x2v_obs::mark("guard/fault_injected");
             return f64::NAN;
         }
     }

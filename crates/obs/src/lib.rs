@@ -6,7 +6,9 @@
 //! beyond `std`:
 //!
 //! * **Span timers** — [`span`] returns a drop-guard that records wall time
-//!   into a process-global registry (call count, total/min/max/mean);
+//!   into a process-global registry (call count, total/self/min/max/mean;
+//!   `self` excludes time spent in nested child spans, so flame-style
+//!   attribution sums to real wall time even under re-entrant nesting);
 //! * **Counters** ([`counter_add`]) and **histograms** ([`observe`]) for
 //!   domain quantities: WL rounds-to-stability, colour classes, hom-count
 //!   recursion nodes, negative samples drawn, SVM sweeps, Gram entries;
@@ -58,8 +60,9 @@ pub use progress::{progress, set_progress_handler, ProgressEvent};
 pub use registry::{HistSnapshot, Registry, SpanSnapshot};
 pub use report::{json_escape, Report};
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::LazyLock;
+use std::sync::{LazyLock, OnceLock};
 use std::time::Instant;
 
 static GLOBAL: LazyLock<Registry> = LazyLock::new(Registry::new);
@@ -70,8 +73,49 @@ const COLLECT: u32 = 1 << 1;
 const REPORT: u32 = 1 << 2;
 const TABLE: u32 = 1 << 3;
 const PROGRESS: u32 = 1 << 4;
+/// Set when a [`SpanSink`] is installed: spans fire begin/end events even
+/// if aggregate collection is off.
+const HOOKED: u32 = 1 << 5;
 
 static STATE: AtomicU32 = AtomicU32::new(0);
+
+/// A sink receiving raw span begin/end and instant events, installed once
+/// per process by a tracing backend (`x2v-prof` in this workspace). The
+/// sink sees every span *event* in real time, in contrast to the
+/// aggregate statistics this crate accumulates; it must be cheap and must
+/// not re-enter the obs API from `begin`/`end`.
+pub trait SpanSink: Sync {
+    /// A span named `name` opened on the calling thread.
+    fn begin(&self, name: &'static str);
+    /// The innermost open span named `name` closed on the calling thread.
+    fn end(&self, name: &'static str);
+    /// A point event (no duration) on the calling thread.
+    fn instant(&self, name: &'static str);
+}
+
+static SINK: OnceLock<&'static dyn SpanSink> = OnceLock::new();
+
+/// Installs the process-wide span sink. Returns `false` if one was already
+/// installed (the first installation wins). After installation every
+/// [`span`] fires `begin`/`end` on the sink regardless of whether metric
+/// collection is enabled.
+pub fn install_span_sink(sink: &'static dyn SpanSink) -> bool {
+    if SINK.set(sink).is_err() {
+        return false;
+    }
+    // Force env parsing first so the fetch_or below cannot be mistaken for
+    // an initialised state with an unparsed environment.
+    let _ = flags();
+    STATE.fetch_or(HOOKED, Ordering::Relaxed);
+    true
+}
+
+thread_local! {
+    /// Wall time (ns) of completed child spans at the current nesting
+    /// level, used to compute exclusive (`self`) time. Guards save and
+    /// restore it LIFO, which matches scope-based drop order.
+    static CHILD_NS: Cell<u64> = const { Cell::new(0) };
+}
 
 fn parse_env() -> u32 {
     let mut flags = INIT;
@@ -141,17 +185,35 @@ pub fn global() -> &'static Registry {
 }
 
 /// A drop-guard recording the wall time between construction and drop
-/// under `name`. When collection is disabled the guard is inert.
+/// under `name`. When collection is disabled and no sink is installed the
+/// guard is inert.
+///
+/// Guards are assumed to drop in reverse creation order (the natural
+/// scope-based pattern); out-of-order drops skew the self-time split but
+/// never the inclusive totals.
 #[must_use = "a span guard measures until it is dropped"]
 pub struct SpanGuard {
     name: &'static str,
     start: Option<Instant>,
+    /// Parent's accumulated child time, restored (plus our own total) on
+    /// drop. Only meaningful when `start` is `Some`.
+    parent_child_ns: u64,
+    hooked: bool,
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some(start) = self.start {
-            GLOBAL.record_span(self.name, start.elapsed());
+            let total_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let child_ns = CHILD_NS.get();
+            let self_ns = total_ns.saturating_sub(child_ns);
+            CHILD_NS.set(self.parent_child_ns.saturating_add(total_ns));
+            GLOBAL.record_span_parts(self.name, total_ns, self_ns);
+        }
+        if self.hooked {
+            if let Some(sink) = SINK.get() {
+                sink.end(self.name);
+            }
         }
     }
 }
@@ -159,13 +221,49 @@ impl Drop for SpanGuard {
 /// Starts a span timer. Bind it: `let _timer = x2v_obs::span("wl/refine");`.
 #[inline]
 pub fn span(name: &'static str) -> SpanGuard {
+    let f = flags();
+    if f & (COLLECT | HOOKED) == 0 {
+        return SpanGuard {
+            name,
+            start: None,
+            parent_child_ns: 0,
+            hooked: false,
+        };
+    }
+    span_slow(name, f)
+}
+
+fn span_slow(name: &'static str, f: u32) -> SpanGuard {
+    let hooked = f & HOOKED != 0;
+    if hooked {
+        if let Some(sink) = SINK.get() {
+            sink.begin(name);
+        }
+    }
+    let (start, parent_child_ns) = if f & COLLECT != 0 {
+        let parent = CHILD_NS.replace(0);
+        (Some(Instant::now()), parent)
+    } else {
+        (None, 0)
+    };
     SpanGuard {
         name,
-        start: if enabled() {
-            Some(Instant::now())
-        } else {
-            None
-        },
+        start,
+        parent_child_ns,
+        hooked,
+    }
+}
+
+/// Emits a point event to the installed [`SpanSink`] (e.g. a budget trip or
+/// a degradation). One relaxed atomic load when no sink is installed; does
+/// not touch the aggregate registry — pair with [`counter_add`] when the
+/// occurrence should also be counted.
+#[inline]
+pub fn mark(name: &'static str) {
+    if flags() & HOOKED != 0 {
+        if let Some(sink) = SINK.get() {
+            sink.instant(name);
+        }
     }
 }
 

@@ -9,20 +9,83 @@ use std::collections::HashMap;
 use std::sync::Mutex;
 use std::time::Duration;
 
+/// Number of log2 buckets retained per histogram (covers `2^-32 .. 2^32`).
+const BUCKETS: usize = 64;
+/// Bucket `i` covers `[2^(i-OFFSET), 2^(i-OFFSET+1))`.
+const OFFSET: i32 = 32;
+
 #[derive(Clone, Debug, Default)]
 struct SpanStat {
     calls: u64,
     total_ns: u64,
+    self_ns: u64,
     min_ns: u64,
     max_ns: u64,
 }
 
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 struct HistStat {
     count: u64,
     sum: f64,
     min: f64,
     max: f64,
+    /// Fixed log2 buckets for percentile estimation — no raw-sample
+    /// retention, so memory per histogram is constant.
+    buckets: [u64; BUCKETS],
+}
+
+/// Maps a value to its log2 bucket. Non-finite and non-positive values land
+/// in the lowest bucket (percentiles are designed for counts, sizes and
+/// durations, which are positive).
+fn bucket_index(v: f64) -> usize {
+    if !v.is_finite() || v <= 0.0 {
+        return 0;
+    }
+    let e = v.log2().floor() as i32;
+    (e + OFFSET).clamp(0, BUCKETS as i32 - 1) as usize
+}
+
+fn bucket_lo(i: usize) -> f64 {
+    if i == 0 {
+        0.0
+    } else {
+        2f64.powi(i as i32 - OFFSET)
+    }
+}
+
+fn bucket_hi(i: usize) -> f64 {
+    2f64.powi(i as i32 - OFFSET + 1)
+}
+
+/// Estimates the `p`-th percentile (`p` in `[0, 100]`) from log2 buckets,
+/// linearly interpolating inside the bucket that crosses the target rank
+/// and clamping to the exact observed `[min, max]`.
+fn percentile_from_buckets(
+    buckets: &[u64; BUCKETS],
+    count: u64,
+    min: f64,
+    max: f64,
+    p: f64,
+) -> f64 {
+    if count == 0 {
+        return 0.0;
+    }
+    let target = ((p / 100.0) * count as f64).max(1.0);
+    let mut cum = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let next = cum + c;
+        if next as f64 >= target {
+            let lo = bucket_lo(i);
+            let hi = bucket_hi(i);
+            let frac = (target - cum as f64) / c as f64;
+            return (lo + frac * (hi - lo)).clamp(min, max);
+        }
+        cum = next;
+    }
+    max
 }
 
 #[derive(Default)]
@@ -33,12 +96,21 @@ struct Inner {
 }
 
 /// Aggregated span statistics, as exposed in snapshots and reports.
+///
+/// `total_ns` sums the *wall* time of every completed span under this name,
+/// so a span nested (transitively) inside another span of the same name
+/// contributes to `total_ns` twice. `self_ns` excludes time spent inside
+/// child spans of *any* name: summing `self_ns` over all span names yields
+/// flame-graph-style exclusive attribution that adds up to real wall time
+/// even under re-entrant nesting.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SpanSnapshot {
     /// Number of completed spans.
     pub calls: u64,
-    /// Summed wall time in nanoseconds.
+    /// Summed wall time in nanoseconds (inclusive of child spans).
     pub total_ns: u64,
+    /// Summed exclusive time in nanoseconds (child-span time removed).
+    pub self_ns: u64,
     /// Fastest single span in nanoseconds.
     pub min_ns: u64,
     /// Slowest single span in nanoseconds.
@@ -57,6 +129,10 @@ impl SpanSnapshot {
 }
 
 /// Aggregated histogram statistics, as exposed in snapshots and reports.
+///
+/// Percentiles are estimated from a fixed 64-bucket log2 histogram
+/// (relative error bounded by the bucket width, exact at the recorded
+/// `min`/`max` envelope) — no raw samples are retained.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct HistSnapshot {
     /// Number of observations.
@@ -67,6 +143,12 @@ pub struct HistSnapshot {
     pub min: f64,
     /// Largest observation.
     pub max: f64,
+    /// Estimated median.
+    pub p50: f64,
+    /// Estimated 90th percentile.
+    pub p90: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
 }
 
 impl HistSnapshot {
@@ -102,25 +184,35 @@ impl Registry {
         self.inner.lock().unwrap_or_else(|p| p.into_inner())
     }
 
-    /// Records one completed span of `elapsed` under `name`.
+    /// Records one completed span of `elapsed` under `name`, with
+    /// `self == total` (no child-time subtraction). Use
+    /// [`Registry::record_span_parts`] when exclusive time is known.
     pub fn record_span(&self, name: &str, elapsed: Duration) {
         let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.record_span_parts(name, ns, ns);
+    }
+
+    /// Records one completed span with explicit inclusive (`total_ns`) and
+    /// exclusive (`self_ns`) wall time.
+    pub fn record_span_parts(&self, name: &str, total_ns: u64, self_ns: u64) {
         let mut inner = self.lock();
         match inner.spans.get_mut(name) {
             Some(s) => {
                 s.calls += 1;
-                s.total_ns = s.total_ns.saturating_add(ns);
-                s.min_ns = s.min_ns.min(ns);
-                s.max_ns = s.max_ns.max(ns);
+                s.total_ns = s.total_ns.saturating_add(total_ns);
+                s.self_ns = s.self_ns.saturating_add(self_ns);
+                s.min_ns = s.min_ns.min(total_ns);
+                s.max_ns = s.max_ns.max(total_ns);
             }
             None => {
                 inner.spans.insert(
                     name.to_string(),
                     SpanStat {
                         calls: 1,
-                        total_ns: ns,
-                        min_ns: ns,
-                        max_ns: ns,
+                        total_ns,
+                        self_ns,
+                        min_ns: total_ns,
+                        max_ns: total_ns,
                     },
                 );
             }
@@ -147,8 +239,11 @@ impl Registry {
                 h.sum += value;
                 h.min = h.min.min(value);
                 h.max = h.max.max(value);
+                h.buckets[bucket_index(value)] += 1;
             }
             None => {
+                let mut buckets = [0u64; BUCKETS];
+                buckets[bucket_index(value)] = 1;
                 inner.histograms.insert(
                     name.to_string(),
                     HistStat {
@@ -156,6 +251,7 @@ impl Registry {
                         sum: value,
                         min: value,
                         max: value,
+                        buckets,
                     },
                 );
             }
@@ -189,6 +285,7 @@ impl Registry {
                     SpanSnapshot {
                         calls: s.calls,
                         total_ns: s.total_ns,
+                        self_ns: s.self_ns,
                         min_ns: s.min_ns,
                         max_ns: s.max_ns,
                     },
@@ -211,6 +308,9 @@ impl Registry {
                         sum: h.sum,
                         min: h.min,
                         max: h.max,
+                        p50: percentile_from_buckets(&h.buckets, h.count, h.min, h.max, 50.0),
+                        p90: percentile_from_buckets(&h.buckets, h.count, h.min, h.max, 90.0),
+                        p99: percentile_from_buckets(&h.buckets, h.count, h.min, h.max, 99.0),
                     },
                 )
             })
@@ -233,9 +333,21 @@ mod tests {
         let a = &spans.iter().find(|(k, _)| k == "a").unwrap().1;
         assert_eq!(a.calls, 2);
         assert_eq!(a.total_ns, 400);
+        assert_eq!(a.self_ns, 400);
         assert_eq!(a.min_ns, 100);
         assert_eq!(a.max_ns, 300);
         assert!((a.mean_ns() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn span_self_time_parts() {
+        let r = Registry::new();
+        r.record_span_parts("outer", 1000, 400);
+        r.record_span_parts("outer", 500, 500);
+        let (spans, _, _) = r.snapshot();
+        let s = &spans.iter().find(|(k, _)| k == "outer").unwrap().1;
+        assert_eq!(s.total_ns, 1500);
+        assert_eq!(s.self_ns, 900);
     }
 
     #[test]
@@ -259,5 +371,60 @@ mod tests {
         assert_eq!(h.min, -1.0);
         assert_eq!(h.max, 4.0);
         assert!((h.mean() - 5.5 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bucket_index_edges() {
+        assert_eq!(bucket_index(f64::NAN), 0);
+        assert_eq!(bucket_index(-3.0), 0);
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(1.0), 32);
+        assert_eq!(bucket_index(1.5), 32);
+        assert_eq!(bucket_index(2.0), 33);
+        assert_eq!(bucket_index(0.5), 31);
+        assert_eq!(bucket_index(f64::MAX), 63);
+        assert_eq!(bucket_index(1e-300), 0);
+    }
+
+    #[test]
+    fn single_value_percentiles_are_exact() {
+        let r = Registry::new();
+        r.observe("h", 12.5);
+        let (_, _, hists) = r.snapshot();
+        let h = &hists[0].1;
+        assert_eq!(h.p50, 12.5);
+        assert_eq!(h.p90, 12.5);
+        assert_eq!(h.p99, 12.5);
+    }
+
+    #[test]
+    fn uniform_percentiles_are_close() {
+        let r = Registry::new();
+        for v in 1..=1000 {
+            r.observe("u", v as f64);
+        }
+        let (_, _, hists) = r.snapshot();
+        let h = &hists[0].1;
+        // Log2 buckets guarantee a within-factor-2 estimate; linear
+        // interpolation inside the bucket does far better on uniform data.
+        assert!((h.p50 - 500.0).abs() < 60.0, "p50 = {}", h.p50);
+        assert!((h.p90 - 900.0).abs() < 120.0, "p90 = {}", h.p90);
+        assert!((h.p99 - 990.0).abs() < 120.0, "p99 = {}", h.p99);
+        assert!(h.p50 <= h.p90 && h.p90 <= h.p99);
+        assert!(h.p99 <= h.max);
+    }
+
+    #[test]
+    fn percentiles_clamp_to_observed_range() {
+        let r = Registry::new();
+        for _ in 0..100 {
+            r.observe("c", 3.0);
+        }
+        let (_, _, hists) = r.snapshot();
+        let h = &hists[0].1;
+        // All mass in one bucket [2, 4): interpolation stays inside and the
+        // clamp pins estimates to the exact constant.
+        assert_eq!(h.p50, 3.0);
+        assert_eq!(h.p99, 3.0);
     }
 }

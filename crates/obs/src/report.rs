@@ -8,7 +8,9 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 /// Identifies the report layout; bump when keys change meaning.
-pub const SCHEMA: &str = "x2v-obs/v1";
+/// v2: spans gained `self_ns` (exclusive time), histograms gained
+/// `p50`/`p90`/`p99` log2-bucket percentile estimates.
+pub const SCHEMA: &str = "x2v-obs/v2";
 
 /// An immutable snapshot of all metrics, keyed in sorted order.
 #[derive(Clone, Debug)]
@@ -103,10 +105,11 @@ impl Report {
             first = false;
             let _ = write!(
                 out,
-                "\n    \"{}\": {{\"calls\": {}, \"total_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"mean_ns\": {}}}",
+                "\n    \"{}\": {{\"calls\": {}, \"total_ns\": {}, \"self_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"mean_ns\": {}}}",
                 json_escape(name),
                 s.calls,
                 s.total_ns,
+                s.self_ns,
                 s.min_ns,
                 s.max_ns,
                 json_f64(s.mean_ns()),
@@ -134,13 +137,16 @@ impl Report {
             first = false;
             let _ = write!(
                 out,
-                "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {}}}",
+                "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
                 json_escape(name),
                 h.count,
                 json_f64(h.sum),
                 json_f64(h.min),
                 json_f64(h.max),
                 json_f64(h.mean()),
+                json_f64(h.p50),
+                json_f64(h.p90),
+                json_f64(h.p99),
             );
         }
         out.push_str(if first { "}\n" } else { "\n  }\n" });
@@ -156,18 +162,19 @@ impl Report {
         if !self.spans.is_empty() {
             let _ = writeln!(
                 out,
-                "{:<36} {:>9} {:>11} {:>11} {:>11} {:>11}",
-                "span", "calls", "total", "mean", "min", "max"
+                "{:<36} {:>9} {:>11} {:>11} {:>11} {:>11} {:>11}",
+                "span", "calls", "total", "self", "mean", "min", "max"
             );
             let mut spans: Vec<_> = self.spans.iter().collect();
             spans.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then(a.0.cmp(b.0)));
             for (name, s) in spans {
                 let _ = writeln!(
                     out,
-                    "{:<36} {:>9} {:>11} {:>11} {:>11} {:>11}",
+                    "{:<36} {:>9} {:>11} {:>11} {:>11} {:>11} {:>11}",
                     name,
                     s.calls,
                     fmt_duration_ns(s.total_ns as f64),
+                    fmt_duration_ns(s.self_ns as f64),
                     fmt_duration_ns(s.mean_ns()),
                     fmt_duration_ns(s.min_ns as f64),
                     fmt_duration_ns(s.max_ns as f64),
@@ -183,16 +190,19 @@ impl Report {
         if !self.histograms.is_empty() {
             let _ = writeln!(
                 out,
-                "{:<36} {:>9} {:>11} {:>11} {:>11}",
-                "histogram", "count", "mean", "min", "max"
+                "{:<36} {:>9} {:>11} {:>11} {:>11} {:>11} {:>11} {:>11}",
+                "histogram", "count", "mean", "p50", "p90", "p99", "min", "max"
             );
             for (name, h) in &self.histograms {
                 let _ = writeln!(
                     out,
-                    "{:<36} {:>9} {:>11.3} {:>11.3} {:>11.3}",
+                    "{:<36} {:>9} {:>11.3} {:>11.3} {:>11.3} {:>11.3} {:>11.3} {:>11.3}",
                     name,
                     h.count,
                     h.mean(),
+                    h.p50,
+                    h.p90,
+                    h.p99,
                     h.min,
                     h.max,
                 );

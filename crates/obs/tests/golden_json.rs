@@ -19,20 +19,23 @@ fn report_json_matches_golden() {
     registry.observe("svm/support_vectors", 12.5);
 
     let report = Report::from_registry(&registry, "golden");
+    // Percentiles are log2-bucket estimates clamped to [min, max]:
+    // {3, 5} → p50 interpolates to the top of bucket [2, 4) = 4.0; p90/p99
+    // interpolate inside bucket [4, 8) and clamp to the observed max 5.0.
     let golden = r#"{
-  "schema": "x2v-obs/v1",
+  "schema": "x2v-obs/v2",
   "run": "golden",
   "spans": {
-    "kernel/gram": {"calls": 1, "total_ns": 3000, "min_ns": 3000, "max_ns": 3000, "mean_ns": 3000.0},
-    "wl/refine": {"calls": 2, "total_ns": 2000, "min_ns": 500, "max_ns": 1500, "mean_ns": 1000.0}
+    "kernel/gram": {"calls": 1, "total_ns": 3000, "self_ns": 3000, "min_ns": 3000, "max_ns": 3000, "mean_ns": 3000.0},
+    "wl/refine": {"calls": 2, "total_ns": 2000, "self_ns": 2000, "min_ns": 500, "max_ns": 1500, "mean_ns": 1000.0}
   },
   "counters": {
     "embed/negative_samples": 9001,
     "hom/recursion_nodes": 42
   },
   "histograms": {
-    "svm/support_vectors": {"count": 1, "sum": 12.5, "min": 12.5, "max": 12.5, "mean": 12.5},
-    "wl/rounds_to_stability": {"count": 2, "sum": 8.0, "min": 3.0, "max": 5.0, "mean": 4.0}
+    "svm/support_vectors": {"count": 1, "sum": 12.5, "min": 12.5, "max": 12.5, "mean": 12.5, "p50": 12.5, "p90": 12.5, "p99": 12.5},
+    "wl/rounds_to_stability": {"count": 2, "sum": 8.0, "min": 3.0, "max": 5.0, "mean": 4.0, "p50": 4.0, "p90": 5.0, "p99": 5.0}
   }
 }
 "#;
@@ -40,10 +43,20 @@ fn report_json_matches_golden() {
 }
 
 #[test]
+fn spans_with_explicit_self_time_serialise() {
+    let registry = Registry::new();
+    registry.record_span_parts("outer", 1000, 250);
+    let report = Report::from_registry(&registry, "selftime");
+    assert!(report
+        .to_json()
+        .contains(r#""outer": {"calls": 1, "total_ns": 1000, "self_ns": 250"#));
+}
+
+#[test]
 fn empty_report_is_valid_and_stable() {
     let registry = Registry::new();
     let report = Report::from_registry(&registry, "empty");
-    let golden = "{\n  \"schema\": \"x2v-obs/v1\",\n  \"run\": \"empty\",\n  \"spans\": {},\n  \"counters\": {},\n  \"histograms\": {}\n}\n";
+    let golden = "{\n  \"schema\": \"x2v-obs/v2\",\n  \"run\": \"empty\",\n  \"spans\": {},\n  \"counters\": {},\n  \"histograms\": {}\n}\n";
     assert_eq!(report.to_json(), golden);
     assert_eq!(report.num_keys(), 0);
 }

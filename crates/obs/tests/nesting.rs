@@ -1,0 +1,98 @@
+//! Span nesting semantics (the re-entrancy fix): `total_ns` is inclusive
+//! wall time per completed span — nested spans under the *same* name still
+//! sum both levels there, by documented design — while `self_ns` excludes
+//! child-span time of any name, so exclusive attribution never
+//! double-counts and sums to real wall time.
+
+use std::thread;
+use std::time::Duration;
+
+// Global-registry tests share one process; a single #[test] keeps the
+// scenarios from interleaving.
+#[test]
+fn self_time_excludes_children() {
+    x2v_obs::set_enabled(true);
+    x2v_obs::reset();
+
+    // Distinct names: outer wraps inner, so outer self = outer total −
+    // inner total, exactly (both sides come from the same measurements).
+    {
+        let _outer = x2v_obs::span("nest/outer");
+        thread::sleep(Duration::from_millis(4));
+        {
+            let _inner = x2v_obs::span("nest/inner");
+            thread::sleep(Duration::from_millis(8));
+        }
+    }
+    let r = x2v_obs::report("nesting");
+    let outer = r.spans["nest/outer"];
+    let inner = r.spans["nest/inner"];
+    assert_eq!(inner.total_ns, inner.self_ns, "leaf span: self == total");
+    assert_eq!(
+        outer.self_ns,
+        outer.total_ns - inner.total_ns,
+        "outer self time is total minus the measured child time"
+    );
+    assert!(outer.total_ns > inner.total_ns);
+
+    // Same-name re-entrancy: total_ns double-counts the inner level (2
+    // completions, inclusive each), but self_ns equals the outermost
+    // span's wall time — flame-style attribution stays truthful.
+    x2v_obs::reset();
+    {
+        let _a = x2v_obs::span("nest/same");
+        thread::sleep(Duration::from_millis(2));
+        {
+            let _b = x2v_obs::span("nest/same");
+            thread::sleep(Duration::from_millis(6));
+        }
+    }
+    let r = x2v_obs::report("nesting");
+    let same = r.spans["nest/same"];
+    assert_eq!(same.calls, 2);
+    // total = outer + inner > outer = self: strictly larger because the
+    // inner span slept.
+    assert!(
+        same.total_ns > same.self_ns,
+        "re-entrant total must double-count while self must not: total={} self={}",
+        same.total_ns,
+        same.self_ns
+    );
+    // self == outer wall time == max_ns (the slower of the two spans).
+    assert_eq!(same.self_ns, same.max_ns);
+    // And total is exactly outer + inner = max + min.
+    assert_eq!(same.total_ns, same.max_ns + same.min_ns);
+
+    // Siblings both subtract from the parent; grandchildren subtract from
+    // their parent only (not from the grandparent twice).
+    x2v_obs::reset();
+    {
+        let _g = x2v_obs::span("nest/grand");
+        {
+            let _p = x2v_obs::span("nest/parent");
+            {
+                let _c1 = x2v_obs::span("nest/child");
+                thread::sleep(Duration::from_millis(3));
+            }
+            {
+                let _c2 = x2v_obs::span("nest/child");
+                thread::sleep(Duration::from_millis(3));
+            }
+        }
+    }
+    let r = x2v_obs::report("nesting");
+    let grand = r.spans["nest/grand"];
+    let parent = r.spans["nest/parent"];
+    let child = r.spans["nest/child"];
+    assert_eq!(child.calls, 2);
+    assert_eq!(parent.self_ns, parent.total_ns - child.total_ns);
+    assert_eq!(grand.self_ns, grand.total_ns - parent.total_ns);
+    // Exclusive times tile the grandparent's wall clock exactly.
+    assert_eq!(
+        grand.self_ns + parent.self_ns + child.self_ns,
+        grand.total_ns
+    );
+
+    x2v_obs::reset();
+    x2v_obs::set_enabled(false);
+}

@@ -1,0 +1,170 @@
+//! # x2v-prof — event tracing and allocation profiling
+//!
+//! Where `x2v-obs` answers *"how much time did each operation take in
+//! aggregate?"*, this crate answers *"what happened, when, on which
+//! thread, and what did it allocate?"*. It provides, with no dependencies
+//! beyond `std` and `x2v-obs`:
+//!
+//! * An **event-tracing backend**: a lock-light per-thread ring buffer of
+//!   span begin/end and instant events. It installs itself as the
+//!   [`x2v_obs::SpanSink`], so every existing `x2v_obs::span` call site in
+//!   the workspace — WL refinement, hom counting, Gram builds, SVM folds,
+//!   training epochs — becomes a trace event with correct parent/child
+//!   nesting and thread attribution, with no new instrumentation.
+//! * A **Chrome Trace Event exporter** ([`write_trace`]): the recorded
+//!   timeline lands in `target/trace/<run>.trace.json`, loadable in
+//!   Perfetto (`ui.perfetto.dev`) or `chrome://tracing`.
+//! * An **allocation profiler** ([`CountingAlloc`], installed as the
+//!   process `#[global_allocator]`): allocs/frees/bytes/peak counters,
+//!   plus per-span inclusive allocation deltas attached to trace `E`
+//!   events (`args.alloc_bytes`, `args.allocs`).
+//! * A tiny **JSON reader** ([`json::JsonValue`]) for the documents the
+//!   workspace writes (obs reports, traces, `BENCH_*.json`), used by the
+//!   golden tests and `bench_diff`.
+//!
+//! ## Cost model
+//!
+//! Tracing is gated on the `X2V_TRACE` environment variable (read once by
+//! [`init_from_env`], which the `exp_*` harness calls). While disabled,
+//! an instrumented call costs the same single relaxed atomic load as
+//! disabled obs collection — the sink is simply never installed, or
+//! installed but off (one extra relaxed load). Allocation counting is off
+//! unless enabled and costs one relaxed load per allocation when off.
+//!
+//! ## Environment
+//!
+//! * `X2V_TRACE` — `1`/`on` enables tracing (`0`/`off`/unset disables);
+//! * `X2V_TRACE_DIR` — trace output directory (default `target/trace`);
+//! * `X2V_TRACE_CAP` — per-thread event capacity (default 65 536; when
+//!   full, further events are dropped and counted, never unbounded).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod alloc;
+mod chrome;
+pub mod json;
+mod ring;
+
+pub use alloc::{
+    alloc_counting_enabled, alloc_snapshot, set_alloc_counting, thread_alloc_totals, AllocSnapshot,
+    CountingAlloc,
+};
+pub use chrome::{trace_json, trace_json_with_stats, write_trace, TraceStats, TRACE_SCHEMA};
+
+use ring::{Event, Phase};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TRACING: AtomicBool = AtomicBool::new(false);
+
+thread_local! {
+    /// Per-thread open-span stack: thread-local `(bytes, allocs)` totals
+    /// sampled at span begin, popped at end to attribute the delta.
+    static FRAMES: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The [`x2v_obs::SpanSink`] implementation feeding the ring buffers.
+struct ProfSink;
+
+impl x2v_obs::SpanSink for ProfSink {
+    fn begin(&self, name: &'static str) {
+        if !tracing_enabled() {
+            return;
+        }
+        ring::record(Event {
+            ts_ns: ring::now_ns(),
+            name,
+            phase: Phase::Begin,
+            alloc_bytes: 0,
+            allocs: 0,
+        });
+        let totals = alloc::thread_alloc_totals();
+        let _ = FRAMES.try_with(|f| f.borrow_mut().push(totals));
+    }
+
+    fn end(&self, name: &'static str) {
+        if !tracing_enabled() {
+            return;
+        }
+        let (bytes0, allocs0) = FRAMES
+            .try_with(|f| f.borrow_mut().pop())
+            .ok()
+            .flatten()
+            .unwrap_or_else(alloc::thread_alloc_totals);
+        let (bytes1, allocs1) = alloc::thread_alloc_totals();
+        ring::record(Event {
+            ts_ns: ring::now_ns(),
+            name,
+            phase: Phase::End,
+            alloc_bytes: bytes1.wrapping_sub(bytes0),
+            allocs: allocs1.wrapping_sub(allocs0),
+        });
+    }
+
+    fn instant(&self, name: &'static str) {
+        if !tracing_enabled() {
+            return;
+        }
+        ring::record(Event {
+            ts_ns: ring::now_ns(),
+            name,
+            phase: Phase::Instant,
+            alloc_bytes: 0,
+            allocs: 0,
+        });
+    }
+}
+
+static SINK: ProfSink = ProfSink;
+
+/// Whether event tracing is currently on.
+#[inline]
+pub fn tracing_enabled() -> bool {
+    TRACING.load(Ordering::Relaxed)
+}
+
+/// Enables tracing: installs this crate as the process span sink (first
+/// installation wins; idempotent for this crate) and turns recording on.
+pub fn enable() {
+    x2v_obs::install_span_sink(&SINK);
+    TRACING.store(true, Ordering::Relaxed);
+}
+
+/// Turns recording off (the sink stays installed; per-call cost returns
+/// to one relaxed atomic load). Recorded events are kept until [`reset`].
+pub fn disable() {
+    TRACING.store(false, Ordering::Relaxed);
+}
+
+/// Discards all recorded events (for tests).
+pub fn reset() {
+    ring::reset();
+}
+
+/// Reads `X2V_TRACE` and enables tracing when truthy. Returns whether
+/// tracing is on. Call once at process start (the `exp_*` harness does).
+pub fn init_from_env() -> bool {
+    let on = matches!(
+        std::env::var("X2V_TRACE").as_deref(),
+        Ok(v) if !matches!(v.trim(), "" | "0" | "off" | "false")
+    );
+    if on {
+        enable();
+    }
+    on
+}
+
+/// Records a point event directly (equivalent to [`x2v_obs::mark`] when
+/// this crate's sink is installed).
+pub fn instant(name: &'static str) {
+    if tracing_enabled() {
+        ring::record(Event {
+            ts_ns: ring::now_ns(),
+            name,
+            phase: Phase::Instant,
+            alloc_bytes: 0,
+            allocs: 0,
+        });
+    }
+}

@@ -1,0 +1,217 @@
+//! Golden validation of the Chrome Trace Event exporter: the emitted
+//! document is valid Trace Event Format JSON — balanced `B`/`E` pairs per
+//! tid, monotonically non-decreasing `ts` per thread, stable key order —
+//! and events from worker threads land with distinct `tid`s.
+
+use x2v_prof::json::JsonValue;
+
+/// Walks `traceEvents`, returning per-tid event lists (metadata excluded).
+fn events_by_tid(doc: &JsonValue) -> Vec<(i64, Vec<JsonValue>)> {
+    let mut by_tid: Vec<(i64, Vec<JsonValue>)> = Vec::new();
+    for e in doc.get("traceEvents").unwrap().as_arr().unwrap() {
+        let ph = e.get("ph").unwrap().as_str().unwrap();
+        if ph == "M" {
+            continue;
+        }
+        let tid = e.get("tid").unwrap().as_f64().unwrap() as i64;
+        match by_tid.iter_mut().find(|(t, _)| *t == tid) {
+            Some((_, evs)) => evs.push(e.clone()),
+            None => by_tid.push((tid, vec![e.clone()])),
+        }
+    }
+    by_tid
+}
+
+// One #[test]: tracing state is process-global, so scenarios must not
+// interleave.
+#[test]
+fn exporter_emits_valid_balanced_trace() {
+    x2v_prof::enable();
+    x2v_prof::set_alloc_counting(true);
+    x2v_prof::reset();
+
+    // Nested spans on the main thread, with a deliberate allocation inside
+    // the inner span and an instant event between them.
+    {
+        let _outer = x2v_obs::span("trace/outer");
+        x2v_obs::mark("trace/marker");
+        {
+            let _inner = x2v_obs::span("trace/alloc_heavy");
+            let sink: Vec<u8> = Vec::with_capacity(1 << 20);
+            std::hint::black_box(&sink);
+        }
+    }
+
+    // Worker threads: each must land on its own tid.
+    let handles: Vec<_> = (0..2)
+        .map(|i| {
+            std::thread::spawn(move || {
+                for _ in 0..3 {
+                    let _s = x2v_obs::span(if i == 0 {
+                        "trace/worker_a"
+                    } else {
+                        "trace/worker_b"
+                    });
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // A span whose guard never drops: the exporter must close it
+    // synthetically to keep the document balanced.
+    std::mem::forget(x2v_obs::span("trace/left_open"));
+
+    let (json, stats) = x2v_prof::trace_json_with_stats("golden");
+    x2v_prof::disable();
+    x2v_prof::set_alloc_counting(false);
+
+    let doc = JsonValue::parse(&json).expect("exporter must emit valid JSON");
+
+    // Stable top-level key order.
+    let top_keys: Vec<&str> = doc
+        .as_obj()
+        .unwrap()
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .collect();
+    assert_eq!(top_keys, ["displayTimeUnit", "otherData", "traceEvents"]);
+    assert_eq!(
+        doc.get("otherData")
+            .unwrap()
+            .get("schema")
+            .unwrap()
+            .as_str(),
+        Some("x2v-trace/v1")
+    );
+
+    // Stable per-event key order: fixed prefix, then "s" (instants) or
+    // "args" (ends), nothing else.
+    for e in doc.get("traceEvents").unwrap().as_arr().unwrap() {
+        let keys: Vec<&str> = e
+            .as_obj()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        if e.get("ph").unwrap().as_str() == Some("M") {
+            continue;
+        }
+        assert_eq!(&keys[..6], ["name", "cat", "ph", "ts", "pid", "tid"]);
+        match e.get("ph").unwrap().as_str().unwrap() {
+            "B" => assert_eq!(keys.len(), 6),
+            "E" => assert_eq!(&keys[6..], ["args"]),
+            "i" => assert_eq!(&keys[6..], ["s"]),
+            other => panic!("unexpected phase {other}"),
+        }
+    }
+
+    let by_tid = events_by_tid(&doc);
+
+    // Balanced B/E per tid: depth never negative, zero at the end.
+    for (tid, evs) in &by_tid {
+        let mut depth = 0i64;
+        let mut last_ts = f64::NEG_INFINITY;
+        for e in evs {
+            let ts = e.get("ts").unwrap().as_f64().unwrap();
+            assert!(
+                ts >= last_ts,
+                "ts must be non-decreasing within tid {tid}: {ts} < {last_ts}"
+            );
+            last_ts = ts;
+            match e.get("ph").unwrap().as_str().unwrap() {
+                "B" => depth += 1,
+                "E" => {
+                    depth -= 1;
+                    assert!(depth >= 0, "E without open B on tid {tid}");
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(depth, 0, "unbalanced B/E on tid {tid}");
+    }
+
+    // The forgotten span was closed synthetically.
+    assert!(stats.synthetic_closes >= 1);
+    assert!(json.contains("\"truncated\": true"));
+
+    // Nesting: outer B precedes inner B, inner E precedes outer E on the
+    // main thread's stream.
+    let main_events = by_tid
+        .iter()
+        .map(|(_, evs)| evs)
+        .find(|evs| {
+            evs.iter()
+                .any(|e| e.get("name").unwrap().as_str() == Some("trace/outer"))
+        })
+        .expect("main-thread events present");
+    let pos = |name: &str, ph: &str| {
+        main_events
+            .iter()
+            .position(|e| {
+                e.get("name").unwrap().as_str() == Some(name)
+                    && e.get("ph").unwrap().as_str() == Some(ph)
+            })
+            .unwrap_or_else(|| panic!("missing {ph} event for {name}"))
+    };
+    assert!(pos("trace/outer", "B") < pos("trace/alloc_heavy", "B"));
+    assert!(pos("trace/alloc_heavy", "E") < pos("trace/outer", "E"));
+    // The instant marker sits inside the outer span.
+    let marker = pos("trace/marker", "i");
+    assert!(pos("trace/outer", "B") < marker && marker < pos("trace/outer", "E"));
+
+    // Allocation attribution: the inner span's E event carries >= 1 MiB.
+    let inner_end = &main_events[pos("trace/alloc_heavy", "E")];
+    let bytes = inner_end
+        .get("args")
+        .unwrap()
+        .get("alloc_bytes")
+        .unwrap()
+        .as_f64()
+        .unwrap();
+    assert!(bytes >= (1 << 20) as f64, "alloc_bytes = {bytes}");
+
+    // Cross-thread: the two workers recorded under two tids, both distinct
+    // from the main thread's.
+    let tid_of = |name: &str| {
+        by_tid
+            .iter()
+            .find(|(_, evs)| {
+                evs.iter()
+                    .any(|e| e.get("name").unwrap().as_str() == Some(name))
+            })
+            .map(|(tid, _)| *tid)
+            .unwrap_or_else(|| panic!("no events named {name}"))
+    };
+    let (ta, tb, tmain) = (
+        tid_of("trace/worker_a"),
+        tid_of("trace/worker_b"),
+        tid_of("trace/outer"),
+    );
+    assert_ne!(ta, tb, "worker threads must have distinct tids");
+    assert_ne!(ta, tmain);
+    assert_ne!(tb, tmain);
+
+    // Each worker recorded 3 B + 3 E = 6 events.
+    let worker_a_events = &by_tid.iter().find(|(t, _)| *t == ta).unwrap().1;
+    assert_eq!(worker_a_events.len(), 6);
+
+    assert_eq!(stats.dropped, 0);
+    x2v_prof::reset();
+}
+
+#[test]
+fn write_trace_lands_in_target_dir() {
+    // Runs in the same process; only touches the file-writing path (any
+    // concurrently recorded events are irrelevant to the assertion).
+    let dir = std::env::temp_dir().join("x2v_prof_trace_test");
+    std::env::set_var("X2V_TRACE_DIR", &dir);
+    let path = x2v_prof::write_trace("unit run/with weird name").unwrap();
+    std::env::remove_var("X2V_TRACE_DIR");
+    assert!(path.ends_with("unit_run_with_weird_name.trace.json"));
+    let content = std::fs::read_to_string(&path).unwrap();
+    assert!(JsonValue::parse(&content).is_ok());
+    let _ = std::fs::remove_dir_all(&dir);
+}
