@@ -1,15 +1,21 @@
 //! Deterministic perf-regression suite.
 //!
 //! ```text
-//! bench_suite [--smoke] [--reps N] [--warmup N] [--out PATH]
+//! bench_suite [--smoke] [--reps N] [--warmup N] [--out PATH] [--ckpt-dir PATH] [--resume]
 //! bench_suite diff <baseline.json> <candidate.json> [--threshold-pct P] [--informational]
 //! ```
 //!
 //! Runs fixed-seed workloads across the workspace's hot subsystems and
 //! writes a schema-versioned `BENCH_<n>.json` report (first free index in
-//! the current directory unless `--out` is given). The `diff` subcommand
-//! compares two reports and exits non-zero on gating median regressions —
-//! see `docs/bench-schema.md` for the file format and the regression rule.
+//! the current directory unless `--out` is given). The report write is
+//! atomic (temp file + fsync + rename), and a write failure is a hard
+//! error (exit 2) — a silently missing report would read as "no
+//! regressions" downstream. With `--ckpt-dir` (or `X2V_CKPT_DIR`) suite
+//! progress checkpoints after every workload; `--resume` restores the
+//! completed workloads of an interrupted run with the same configuration.
+//! The `diff` subcommand compares two reports and exits non-zero on gating
+//! median regressions — see `docs/bench-schema.md` for the file format and
+//! the regression rule.
 
 use x2v_bench::suite::{
     diff_main, next_report_path, render_table, report_json, run_suite, SuiteConfig,
@@ -44,6 +50,14 @@ fn main() {
                 iter.next(); // consumed by ObsRun's ambient-budget scan
             }
             other if other.starts_with("--budget-ms=") => {}
+            "--resume" => cfg.resume = true, // also read by ObsRun's scan
+            "--ckpt-dir" => {
+                // Value consumed by ObsRun's ambient-store scan.
+                if iter.next().is_none() {
+                    usage_error("--ckpt-dir requires a path");
+                }
+            }
+            other if other.starts_with("--ckpt-dir=") => {}
             other => usage_error(&format!("unknown argument {other}")),
         }
     }
@@ -54,7 +68,11 @@ fn main() {
 
     let path = out_path.unwrap_or_else(|| next_report_path(std::path::Path::new(".")));
     let json = report_json(&results, &cfg);
-    if let Err(e) = std::fs::write(&path, &json) {
+    // Atomic (rename-into-place) write: a crash or full disk here leaves
+    // either no report or a complete one, never a torn JSON document that
+    // downstream diffing would misparse. The write is fault-injectable at
+    // site "bench/report" (X2V_FAULTS=enospc@bench/report etc.).
+    if let Err(e) = x2v_ckpt::atomic::write_atomic("bench/report", &path, json.as_bytes()) {
         eprintln!("bench_suite: cannot write {}: {e}", path.display());
         std::process::exit(2);
     }

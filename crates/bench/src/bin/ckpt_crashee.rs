@@ -1,0 +1,123 @@
+//! Crash-test child process for the checkpoint/resume integration tests
+//! (`crates/bench/tests/crash_resume.rs`). Not part of the experiment
+//! surface: the parent test spawns this binary, kills or aborts it at a
+//! chosen point, and then verifies that the checkpoint store left behind
+//! resumes to the exact golden result.
+//!
+//! ```text
+//! ckpt_crashee train        <ckpt-dir>      full run; prints model fingerprint
+//! ckpt_crashee train-abort  <ckpt-dir> <k>  abort(2) at the start of epoch k
+//! ckpt_crashee train-resume <ckpt-dir>      resume run; prints model fingerprint
+//! ckpt_crashee spin         <ckpt-dir>      checkpoint in a loop until killed
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use x2v_ckpt::crc32::Crc32;
+use x2v_ckpt::Store;
+use x2v_embed::word2vec::{SgnsConfig, Word2Vec};
+
+/// The fixed training problem every subcommand shares: the parent compares
+/// fingerprints across *separate invocations*, so corpus and config must be
+/// bit-reproducible from constants alone.
+fn corpus() -> Vec<Vec<usize>> {
+    let mut rng = StdRng::seed_from_u64(29);
+    (0..30)
+        .map(|i| {
+            let base: usize = if i % 2 == 0 { 0 } else { 5 };
+            (0..10)
+                .map(|_| base + rng.random_range(0..5usize))
+                .collect()
+        })
+        .collect()
+}
+
+fn config() -> SgnsConfig {
+    SgnsConfig {
+        dim: 8,
+        window: 3,
+        negative: 4,
+        epochs: 6,
+        learning_rate: 0.025,
+        seed: 23,
+    }
+}
+
+const VOCAB: usize = 10;
+const JOB: &str = "crashee";
+
+/// CRC32 over every input and output coefficient's bit pattern — a compact
+/// stand-in for "the whole model", printable on one stdout line.
+fn fingerprint(model: &Word2Vec) -> u32 {
+    let mut c = Crc32::new();
+    for t in 0..VOCAB {
+        for &v in model.vector(t) {
+            c.update_u64(v.to_bits());
+        }
+        for &v in model.context_vector(t) {
+            c.update_u64(v.to_bits());
+        }
+    }
+    c.finish()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, dir) = match (args.first(), args.get(1)) {
+        (Some(c), Some(d)) => (c.as_str(), d.as_str()),
+        _ => {
+            eprintln!("usage: ckpt_crashee <train|train-abort|train-resume|spin> <ckpt-dir> [k]");
+            std::process::exit(2);
+        }
+    };
+    let store = Store::open(dir).expect("checkpoint store must open");
+
+    match cmd {
+        "train" | "train-resume" => {
+            x2v_ckpt::install_ambient(store);
+            x2v_ckpt::set_resume(cmd == "train-resume");
+            let model = Word2Vec::train_job(&corpus(), VOCAB, &config(), JOB);
+            println!("{:08x}", fingerprint(&model));
+        }
+        "train-abort" => {
+            let k: u64 = args
+                .get(2)
+                .and_then(|v| v.parse().ok())
+                .expect("train-abort needs the epoch to die in");
+            // The epoch heartbeat fires at the *start* of epoch `current-1`
+            // (1-based `current`), after the previous epoch's checkpoint was
+            // committed — so dying at `current == k+1` leaves exactly the
+            // first k epochs durable, a crash window mid-job.
+            x2v_obs::set_progress_handler(Some(Box::new(move |e| {
+                if e.name == "embed/word2vec_epochs" && e.current == k + 1 {
+                    std::process::abort();
+                }
+            })));
+            x2v_ckpt::install_ambient(store);
+            let _ = Word2Vec::train_job(&corpus(), VOCAB, &config(), JOB);
+            unreachable!("the progress handler must abort before training completes");
+        }
+        "spin" => {
+            // Checkpoint continuously until the parent SIGKILLs us; each
+            // generation's payload is a constant byte derived from its
+            // generation number, so the parent can validate whatever
+            // generation survives. "ready" tells the parent writes started.
+            let mut next = 1u64;
+            loop {
+                let payload = vec![(next % 251) as u8 + 1; 64 * 1024];
+                let generation = store
+                    .save("spin", "blob", &payload)
+                    .expect("spin save must succeed until killed");
+                assert_eq!(generation, next, "fresh store must number saves 1, 2, …");
+                if next == 1 {
+                    println!("ready");
+                }
+                next += 1;
+            }
+        }
+        other => {
+            eprintln!("ckpt_crashee: unknown subcommand {other:?}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -5,7 +5,7 @@ use x2v_core::GraphKernel;
 use x2v_datasets::metrics::accuracy;
 use x2v_datasets::splits::stratified_folds;
 use x2v_datasets::synthetic::GraphDataset;
-use x2v_kernel::gram::normalize;
+use x2v_kernel::gram::{gram_resumable, normalize, try_normalize};
 use x2v_kernel::svm::{MulticlassSvm, SvmConfig};
 use x2v_linalg::Matrix;
 
@@ -24,6 +24,33 @@ pub fn kernel_cv_accuracy(
         normalize(&kernel.gram(&dataset.graphs))
     };
     gram_cv_accuracy(&gram, &dataset.labels, folds, seed)
+}
+
+/// [`kernel_cv_accuracy`] with a crash-safe Gram build: the `O(n²)` kernel
+/// evaluation — the dominant cost — goes through
+/// [`x2v_kernel::gram::gram_resumable`], so with an ambient
+/// [`x2v_ckpt::Store`] installed the partial matrix survives a crash or a
+/// budget trip and a re-run resumes from the last completed row block
+/// instead of recomputing. Fold assignment and SVM training are cheap and
+/// deterministic, so they simply re-run.
+///
+/// # Errors
+/// Budget/cancellation errors from the ambient [`x2v_guard::Budget`]
+/// (metered per kernel evaluation) and numeric failures from
+/// normalisation.
+pub fn kernel_cv_accuracy_resumable(
+    kernel: &dyn GraphKernel,
+    dataset: &GraphDataset,
+    folds: usize,
+    seed: u64,
+    job: &str,
+) -> x2v_guard::Result<f64> {
+    let _timer = x2v_obs::span("bench/kernel_cv");
+    let gram = {
+        let _g = x2v_obs::span("bench/gram");
+        try_normalize(&gram_resumable(kernel, &dataset.graphs, job)?)?
+    };
+    Ok(gram_cv_accuracy(&gram, &dataset.labels, folds, seed))
 }
 
 /// k-fold cross-validated SVM accuracy from a precomputed Gram matrix.
@@ -134,6 +161,15 @@ mod tests {
         let kernel = WlSubtreeKernel::new(3);
         let acc = kernel_cv_accuracy(&kernel, &data, 4, 1);
         assert!(acc >= 0.9, "easy dataset should be nearly solved: {acc}");
+    }
+
+    #[test]
+    fn resumable_cv_matches_plain_cv_without_store() {
+        let data = cycles_vs_trees(10, 6, 4);
+        let kernel = WlSubtreeKernel::new(2);
+        let plain = kernel_cv_accuracy(&kernel, &data, 3, 7);
+        let resumable = kernel_cv_accuracy_resumable(&kernel, &data, 3, 7, "test-cv").unwrap();
+        assert_eq!(plain.to_bits(), resumable.to_bits(), "bit-identical CV");
     }
 
     #[test]

@@ -26,6 +26,13 @@ pub mod suite;
 ///   A budget trip panics with the typed diagnostic; the panic unwinds
 ///   through `main`, so this guard still drops and the partial obs report
 ///   — including the `guard/*` counters — is written;
+/// * arms the workspace-wide checkpoint escape hatch: a `--ckpt-dir PATH`
+///   argument (or `X2V_CKPT_DIR=PATH`; the argument wins) opens an ambient
+///   [`x2v_ckpt::Store`] there, so every resumable hot path (SGNS epochs,
+///   Gram row blocks, the bench suite) checkpoints durably without
+///   per-binary plumbing. A `--resume` argument (or `X2V_RESUME=1`)
+///   additionally opts in to *restoring* from those checkpoints —
+///   defaulting the store to `target/ckpt` when no directory was named;
 /// * initialises event tracing from `X2V_TRACE` (see `x2v-prof`): with
 ///   tracing on, every instrumented call site streams begin/end events
 ///   and the guard writes `target/trace/<run>.trace.json` on drop;
@@ -48,6 +55,24 @@ impl ObsRun {
         if let Some(ms) = budget_ms_from(std::env::args(), |k| std::env::var(k).ok()) {
             x2v_guard::install_ambient(x2v_guard::Budget::unlimited().with_deadline_ms(ms));
             eprintln!("[{run}] ambient budget installed: {ms} ms wall clock");
+        }
+        let (ckpt_dir, resume) = ckpt_from(std::env::args(), |k| std::env::var(k).ok());
+        if let Some(dir) = ckpt_dir.or_else(|| resume.then(|| "target/ckpt".to_string())) {
+            match x2v_ckpt::Store::open(&dir) {
+                Ok(store) => {
+                    x2v_ckpt::install_ambient(store);
+                    x2v_ckpt::set_resume(resume);
+                    eprintln!(
+                        "[{run}] checkpoint store at {dir}{}",
+                        if resume { " (resume requested)" } else { "" }
+                    );
+                }
+                // A broken checkpoint directory must not stop the run: the
+                // job degrades to non-durable (cold-start) execution.
+                Err(e) => {
+                    eprintln!("[{run}] checkpoint store unavailable, continuing without: {e}")
+                }
+            }
         }
         let tracing = x2v_prof::init_from_env();
         if tracing || x2v_obs::enabled() {
@@ -124,9 +149,37 @@ fn budget_ms_from(
     env("X2V_BUDGET_MS").and_then(|v| v.parse().ok())
 }
 
+/// Resolves the checkpoint escape hatch: `(directory, resume)`.
+/// `--ckpt-dir PATH` (also `--ckpt-dir=PATH`) beats `X2V_CKPT_DIR=PATH`;
+/// `--resume` beats `X2V_RESUME` (`1`/`true` count as set).
+fn ckpt_from(
+    args: impl IntoIterator<Item = String>,
+    env: impl Fn(&str) -> Option<String>,
+) -> (Option<String>, bool) {
+    let mut dir = None;
+    let mut resume = false;
+    let mut args = args.into_iter();
+    while let Some(a) = args.next() {
+        if a == "--ckpt-dir" {
+            dir = args.next();
+        } else if let Some(v) = a.strip_prefix("--ckpt-dir=") {
+            dir = Some(v.to_string());
+        } else if a == "--resume" {
+            resume = true;
+        }
+    }
+    if dir.is_none() {
+        dir = env("X2V_CKPT_DIR").filter(|v| !v.is_empty());
+    }
+    if !resume {
+        resume = env("X2V_RESUME").is_some_and(|v| v == "1" || v.eq_ignore_ascii_case("true"));
+    }
+    (dir, resume)
+}
+
 #[cfg(test)]
 mod tests {
-    use super::budget_ms_from;
+    use super::{budget_ms_from, ckpt_from};
 
     fn no_env(_: &str) -> Option<String> {
         None
@@ -157,5 +210,33 @@ mod tests {
         let env = |k: &str| (k == "X2V_BUDGET_MS").then(|| "99".to_string());
         assert_eq!(budget_ms_from(argv, env), Some(7));
         assert_eq!(budget_ms_from(vec!["exp".to_string()], env), Some(99));
+    }
+
+    #[test]
+    fn ckpt_flags_parse() {
+        let argv = |s: &[&str]| s.iter().map(|a| a.to_string()).collect::<Vec<_>>();
+        assert_eq!(ckpt_from(argv(&["exp"]), no_env), (None, false));
+        assert_eq!(
+            ckpt_from(argv(&["exp", "--ckpt-dir", "/tmp/c"]), no_env),
+            (Some("/tmp/c".to_string()), false)
+        );
+        assert_eq!(
+            ckpt_from(argv(&["exp", "--ckpt-dir=/tmp/c", "--resume"]), no_env),
+            (Some("/tmp/c".to_string()), true)
+        );
+        let env = |k: &str| match k {
+            "X2V_CKPT_DIR" => Some("/env/dir".to_string()),
+            "X2V_RESUME" => Some("1".to_string()),
+            _ => None,
+        };
+        assert_eq!(
+            ckpt_from(argv(&["exp"]), env),
+            (Some("/env/dir".to_string()), true)
+        );
+        // Arguments beat the environment.
+        assert_eq!(
+            ckpt_from(argv(&["exp", "--ckpt-dir", "/arg/dir"]), env),
+            (Some("/arg/dir".to_string()), true)
+        );
     }
 }

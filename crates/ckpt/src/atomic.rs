@@ -1,0 +1,94 @@
+//! The site-tagged, fault-injectable atomic writer.
+//!
+//! Production behaviour is exactly [`x2v_obs::fsio::atomic_write`] (temp
+//! file + fsync + rename-into-place). On top of that, each write first
+//! consults [`x2v_guard::faults::store_fault`] for its `site`, so the
+//! `X2V_FAULTS` store kinds can deterministically force the failure modes
+//! the store must survive:
+//!
+//! * `enospc@site` — the write fails with an injected I/O error before
+//!   anything reaches the destination (atomicity preserved: the old file,
+//!   if any, is intact);
+//! * `torn@site` — only a prefix of the bytes is persisted *non-atomically*
+//!   (simulating the legacy direct-write path crashing midway), which frame
+//!   validation must then detect on load;
+//! * `bitflip@site` — one payload bit is flipped after any checksum was
+//!   computed, then written atomically (simulating silent media corruption).
+
+use std::io;
+use std::path::Path;
+
+use x2v_guard::faults::{store_fault, StoreFaultKind};
+
+/// Writes `bytes` to `path` atomically, honouring any armed store fault for
+/// `site`. Errors are plain `io::Error`; callers map them to
+/// [`x2v_guard::GuardError::Storage`] with their own site context.
+pub fn write_atomic(site: &str, path: &Path, bytes: &[u8]) -> io::Result<()> {
+    match store_fault(site) {
+        Some(StoreFaultKind::Enospc) => Err(io::Error::new(
+            io::ErrorKind::StorageFull,
+            format!("injected ENOSPC at {site}"),
+        )),
+        Some(StoreFaultKind::Torn) => {
+            // A torn write is precisely what the atomic protocol prevents, so
+            // simulating one must bypass it: persist a prefix directly at the
+            // destination, as a crashed non-atomic writer would have.
+            std::fs::write(path, &bytes[..bytes.len() / 2])
+        }
+        Some(StoreFaultKind::Bitflip) => {
+            let mut corrupted = bytes.to_vec();
+            if let Some(last) = corrupted.last_mut() {
+                *last ^= 0x01;
+            }
+            x2v_obs::fsio::atomic_write(path, &corrupted)
+        }
+        None => x2v_obs::fsio::atomic_write(path, bytes),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+    use std::path::PathBuf;
+    use x2v_guard::faults;
+
+    fn tmpdir() -> PathBuf {
+        let d = std::env::temp_dir().join(format!("x2v-ckpt-atomic-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    // Fault state is process-global; one #[test] covers all three kinds so
+    // parallel test threads cannot interleave arm/clear.
+    #[test]
+    fn fault_kinds_shape_the_bytes_on_disk() {
+        let d = tmpdir();
+        let p = d.join("artifact.bin");
+        let payload = b"0123456789abcdef";
+
+        faults::clear();
+        write_atomic("test/atomic", &p, payload).unwrap();
+        assert_eq!(fs::read(&p).unwrap(), payload);
+
+        faults::inject_store(StoreFaultKind::Enospc, "test/atomic", 1);
+        let err = write_atomic("test/atomic", &p, b"new content").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::StorageFull);
+        // Destination untouched by the failed write.
+        assert_eq!(fs::read(&p).unwrap(), payload);
+
+        faults::inject_store(StoreFaultKind::Torn, "test/atomic", 1);
+        write_atomic("test/atomic", &p, payload).unwrap();
+        assert_eq!(fs::read(&p).unwrap(), &payload[..payload.len() / 2]);
+
+        faults::inject_store(StoreFaultKind::Bitflip, "test/atomic", 1);
+        write_atomic("test/atomic", &p, payload).unwrap();
+        let on_disk = fs::read(&p).unwrap();
+        assert_eq!(on_disk.len(), payload.len());
+        assert_ne!(on_disk, payload);
+
+        faults::clear();
+        let _ = fs::remove_dir_all(&d);
+    }
+}

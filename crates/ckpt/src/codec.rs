@@ -1,0 +1,230 @@
+//! A tiny deterministic little-endian byte codec for checkpoint payloads.
+//!
+//! No serde: payloads are built with [`Enc`] and read back with [`Dec`].
+//! Floats travel as raw IEEE-754 bits, so an encode/decode round trip is
+//! bit-exact — the property the crash-resume determinism guarantee rests
+//! on. Every read is bounds-checked; a short or oversized buffer surfaces
+//! as a typed [`CodecError`], never a panic.
+
+/// A bounds or length violation while decoding a payload. Treated like
+/// corruption by callers: the checkpoint is not trusted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CodecError {
+    /// What the decoder was reading when the buffer ran out or lied.
+    pub context: &'static str,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "malformed checkpoint payload while reading {}",
+            self.context
+        )
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Payload encoder: append-only little-endian byte buffer.
+#[derive(Clone, Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends an `f64` as its raw bits (bit-exact round trip, NaN
+    /// payloads included).
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.u64(v.to_bits())
+    }
+
+    /// Appends a length-prefixed `f64` slice.
+    pub fn f64_slice(&mut self, vs: &[f64]) -> &mut Self {
+        self.u64(vs.len() as u64);
+        for &v in vs {
+            self.f64(v);
+        }
+        self
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) -> &mut Self {
+        self.u64(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+        self
+    }
+
+    /// The encoded payload.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Payload decoder over a borrowed buffer.
+#[derive(Clone, Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// A decoder positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, at: 0 }
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], CodecError> {
+        let end = self.at.checked_add(n).ok_or(CodecError { context })?;
+        if end > self.buf.len() {
+            return Err(CodecError { context });
+        }
+        let slice = &self.buf[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self, context: &'static str) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, context)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self, context: &'static str) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, context)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a `u64` and checks it fits `usize` and is at most `cap`
+    /// (pre-allocation guard against a corrupt length field).
+    pub fn len(&mut self, cap: usize, context: &'static str) -> Result<usize, CodecError> {
+        let v = self.u64(context)?;
+        let v = usize::try_from(v).map_err(|_| CodecError { context })?;
+        if v > cap {
+            return Err(CodecError { context });
+        }
+        Ok(v)
+    }
+
+    /// Reads an `f64` from its raw bits.
+    pub fn f64(&mut self, context: &'static str) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64(context)?))
+    }
+
+    /// Reads a length-prefixed `f64` vector of at most `cap` elements.
+    pub fn f64_vec(&mut self, cap: usize, context: &'static str) -> Result<Vec<f64>, CodecError> {
+        let n = self.len(cap, context)?;
+        // The length is further bounded by the bytes actually present, so a
+        // corrupt-but-small length cannot force a huge allocation.
+        if n > self.buf.len().saturating_sub(self.at) / 8 {
+            return Err(CodecError { context });
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.f64(context)?);
+        }
+        Ok(out)
+    }
+
+    /// Reads a length-prefixed UTF-8 string of at most `cap` bytes.
+    pub fn str(&mut self, cap: usize, context: &'static str) -> Result<String, CodecError> {
+        let n = self.len(cap, context)?;
+        let bytes = self.take(n, context)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError { context })
+    }
+
+    /// Requires the buffer to be fully consumed (trailing garbage is
+    /// treated as corruption).
+    pub fn finish(&self, context: &'static str) -> Result<(), CodecError> {
+        if self.at == self.buf.len() {
+            Ok(())
+        } else {
+            Err(CodecError { context })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let mut e = Enc::new();
+        e.u32(7)
+            .u64(u64::MAX)
+            .f64(-0.0)
+            .f64(f64::NAN)
+            .f64_slice(&[1.5, f64::MIN_POSITIVE, f64::INFINITY])
+            .str("job/name");
+        let bytes = e.finish();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.u32("a").unwrap(), 7);
+        assert_eq!(d.u64("b").unwrap(), u64::MAX);
+        assert_eq!(d.f64("c").unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(d.f64("d").unwrap().is_nan());
+        let v = d.f64_vec(10, "e").unwrap();
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[0].to_bits(), 1.5f64.to_bits());
+        assert_eq!(d.str(100, "f").unwrap(), "job/name");
+        d.finish("g").unwrap();
+    }
+
+    #[test]
+    fn short_buffers_error_not_panic() {
+        let mut e = Enc::new();
+        e.f64_slice(&[1.0, 2.0, 3.0]);
+        let bytes = e.finish();
+        for cut in 0..bytes.len() {
+            let mut d = Dec::new(&bytes[..cut]);
+            assert!(d.f64_vec(10, "vec").is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_length_is_bounded() {
+        // A vector claiming u64::MAX elements must fail fast, not allocate.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        let mut d = Dec::new(&bytes);
+        assert!(d.f64_vec(usize::MAX, "vec").is_err());
+        // And one claiming more elements than bytes present must too.
+        let mut e = Enc::new();
+        e.u64(1000);
+        e.f64(1.0);
+        let bytes = e.finish();
+        let mut d = Dec::new(&bytes);
+        assert!(d.f64_vec(usize::MAX, "vec").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut e = Enc::new();
+        e.u32(1);
+        let mut bytes = e.finish();
+        bytes.push(0xFF);
+        let mut d = Dec::new(&bytes);
+        d.u32("v").unwrap();
+        assert!(d.finish("tail").is_err());
+    }
+}

@@ -1,0 +1,217 @@
+//! Schema-versioned checkpoint framing: `"x2v-ckpt/v1"`.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"x2vckpt1"  (schema x2v-ckpt/v1)
+//! 8       4     kind length K (u32)
+//! 12      K     kind, UTF-8 — what the payload is ("sgns-epoch", …)
+//! 12+K    8     payload length P (u64)
+//! 20+K    4     CRC32 of the payload
+//! 24+K    P     payload
+//! ```
+//!
+//! Decoding validates the magic, both lengths against the buffer size, and
+//! the checksum — so a torn tail (truncation), a bit flip, or a foreign
+//! file are all *detected*, and surface as a typed [`FrameError`] rather
+//! than as silently-wrong state.
+
+use crate::crc32::crc32;
+
+/// Identifies the frame layout; bump the magic when the layout changes.
+pub const SCHEMA: &str = "x2v-ckpt/v1";
+
+/// The 8-byte magic opening every v1 frame.
+pub const MAGIC: [u8; 8] = *b"x2vckpt1";
+
+/// Why a frame failed to decode. Every variant means "do not trust this
+/// file": the store quarantines it and falls back to an older generation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// The buffer is shorter than a complete frame claims to be — the
+    /// classic torn (partially persisted) write.
+    Truncated {
+        /// Bytes required (`usize::MAX` when the header itself is short).
+        needed: usize,
+        /// Bytes present.
+        have: usize,
+    },
+    /// The magic bytes do not open a v1 frame.
+    BadMagic,
+    /// The kind tag is not valid UTF-8.
+    BadKind,
+    /// The payload does not match its recorded CRC32 (bit rot or a torn
+    /// write that happened to preserve the length).
+    ChecksumMismatch {
+        /// CRC32 recorded in the header.
+        expected: u32,
+        /// CRC32 of the payload as read.
+        actual: u32,
+    },
+    /// The frame decoded but carries a different kind than the caller
+    /// expected (e.g. a gram checkpoint where an SGNS one should be).
+    KindMismatch {
+        /// Kind the caller asked for.
+        expected: String,
+        /// Kind recorded in the frame.
+        actual: String,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated { needed, have } => {
+                write!(f, "truncated frame: need {needed} bytes, have {have}")
+            }
+            FrameError::BadMagic => write!(f, "bad magic: not an {SCHEMA} frame"),
+            FrameError::BadKind => write!(f, "kind tag is not valid UTF-8"),
+            FrameError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "payload checksum mismatch: header says {expected:#010x}, payload is {actual:#010x}"
+            ),
+            FrameError::KindMismatch { expected, actual } => {
+                write!(f, "frame kind {actual:?} where {expected:?} was expected")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Encodes `payload` as a v1 frame tagged `kind`.
+pub fn encode(kind: &str, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(24 + kind.len() + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&(kind.len() as u32).to_le_bytes());
+    out.extend_from_slice(kind.as_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Decodes a v1 frame, returning `(kind, payload)` after validating magic,
+/// lengths and checksum.
+pub fn decode(bytes: &[u8]) -> Result<(String, Vec<u8>), FrameError> {
+    let short = |needed: usize| FrameError::Truncated {
+        needed,
+        have: bytes.len(),
+    };
+    if bytes.len() < 12 {
+        return Err(short(usize::MAX));
+    }
+    if bytes[..8] != MAGIC {
+        return Err(FrameError::BadMagic);
+    }
+    let kind_len = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+    let payload_at = 12usize
+        .checked_add(kind_len)
+        .and_then(|k| k.checked_add(12))
+        .ok_or(FrameError::BadMagic)?;
+    if bytes.len() < payload_at {
+        return Err(short(payload_at));
+    }
+    let kind = std::str::from_utf8(&bytes[12..12 + kind_len])
+        .map_err(|_| FrameError::BadKind)?
+        .to_string();
+    let len_at = 12 + kind_len;
+    let payload_len =
+        u64::from_le_bytes(bytes[len_at..len_at + 8].try_into().expect("8 bytes")) as usize;
+    let expected = u32::from_le_bytes(bytes[len_at + 8..len_at + 12].try_into().expect("4 bytes"));
+    let end = payload_at
+        .checked_add(payload_len)
+        .ok_or(FrameError::BadMagic)?;
+    if bytes.len() < end {
+        return Err(short(end));
+    }
+    let payload = &bytes[payload_at..end];
+    let actual = crc32(payload);
+    if actual != expected {
+        return Err(FrameError::ChecksumMismatch { expected, actual });
+    }
+    Ok((kind, payload.to_vec()))
+}
+
+/// [`decode`], additionally requiring the frame kind to equal `kind`.
+pub fn decode_kind(bytes: &[u8], kind: &str) -> Result<Vec<u8>, FrameError> {
+    let (actual, payload) = decode(bytes)?;
+    if actual != kind {
+        return Err(FrameError::KindMismatch {
+            expected: kind.to_string(),
+            actual,
+        });
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let frame = encode("sgns-epoch", b"hello checkpoint");
+        let (kind, payload) = decode(&frame).unwrap();
+        assert_eq!(kind, "sgns-epoch");
+        assert_eq!(payload, b"hello checkpoint");
+        assert_eq!(
+            decode_kind(&frame, "sgns-epoch").unwrap(),
+            b"hello checkpoint"
+        );
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let frame = encode("empty", b"");
+        assert_eq!(decode_kind(&frame, "empty").unwrap(), b"");
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let frame = encode("k", b"payload bytes under test");
+        for cut in 0..frame.len() {
+            let err = decode(&frame[..cut]).unwrap_err();
+            assert!(
+                matches!(err, FrameError::Truncated { .. }),
+                "cut at {cut}: {err:?}"
+            );
+        }
+        assert!(decode(&frame).is_ok());
+    }
+
+    #[test]
+    fn every_single_bitflip_in_payload_is_detected() {
+        let frame = encode("k", b"sensitive");
+        let payload_at = frame.len() - b"sensitive".len();
+        for byte in payload_at..frame.len() {
+            for bit in 0..8 {
+                let mut bad = frame.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    matches!(decode(&bad), Err(FrameError::ChecksumMismatch { .. })),
+                    "flip byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn foreign_files_are_rejected() {
+        assert_eq!(
+            decode(b"{\"json\": \"report\", \"pad\": 1}"),
+            Err(FrameError::BadMagic)
+        );
+        assert!(matches!(decode(b"x2v"), Err(FrameError::Truncated { .. })));
+    }
+
+    #[test]
+    fn kind_mismatch_is_typed() {
+        let frame = encode("gram-rows", b"x");
+        assert!(matches!(
+            decode_kind(&frame, "sgns-epoch"),
+            Err(FrameError::KindMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,77 @@
+//! # x2v-ckpt — crash-safe checkpoint/resume and a durable artifact store
+//!
+//! The workspace's long-running jobs — SGNS training epochs
+//! (word2vec/node2vec per Mikolov-style skip-gram with negative sampling),
+//! `O(n²)` Gram builds, the perf-regression suite — get preempted,
+//! OOM-killed and crash mid-write in production. This crate is the
+//! durability layer that makes an interrupted job *resumable to the exact
+//! result an uninterrupted run would have produced*, with no dependencies
+//! beyond `std`, `x2v-obs` and `x2v-guard`:
+//!
+//! * [`atomic`] — a site-tagged atomic writer (temp file + fsync + rename,
+//!   built on `x2v_obs::fsio`) that honours the store-level `X2V_FAULTS`
+//!   kinds (`torn@site`, `bitflip@site`, `enospc@site`), so every torn-write
+//!   recovery path is itself under deterministic test;
+//! * [`frame`] — schema-versioned framing (`"x2v-ckpt/v1"`): magic, a kind
+//!   tag, payload length and a CRC32 ([`crc32`]) over the payload, so a
+//!   torn or bit-flipped checkpoint is *detected*, never silently loaded;
+//! * [`codec`] — a tiny deterministic little-endian byte codec for
+//!   checkpoint payloads (no serde);
+//! * [`store`] — [`Store`]: generation-numbered checkpoint files per job
+//!   with quarantine-on-corruption and bounded retention. A corrupt
+//!   generation is moved to `quarantine/` (counted as
+//!   `ckpt/corrupt_detected`) and the previous valid generation is used —
+//!   else the caller cold-starts;
+//! * an **ambient store** ([`install_ambient`]) — the `--resume` /
+//!   `X2V_CKPT_DIR` escape hatch the `exp_*` binaries plumb through
+//!   `ObsRun`, mirroring the ambient budget in `x2v-guard`.
+//!
+//! Failures compose with the guard layer: every store error surfaces as a
+//! typed [`x2v_guard::GuardError::Storage`], and degradations are
+//! observable through the `ckpt/saved`, `ckpt/resumed`,
+//! `ckpt/corrupt_detected`, `ckpt/fallback_cold_start` and
+//! `ckpt/bytes_written` obs counters plus matching trace instants.
+//!
+//! ```
+//! let dir = std::env::temp_dir().join(format!("x2v-ckpt-doc-{}", std::process::id()));
+//! let store = x2v_ckpt::Store::open(&dir).unwrap();
+//! store.save("doc-job", "example", b"epoch 3 state").unwrap();
+//! let (generation, payload) = store.load_latest("doc-job", "example").unwrap().unwrap();
+//! assert_eq!(generation, 1);
+//! assert_eq!(payload, b"epoch 3 state");
+//! std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod ambient;
+pub mod atomic;
+pub mod codec;
+pub mod crc32;
+pub mod frame;
+pub mod store;
+
+pub use ambient::{ambient, clear_ambient, install_ambient, resume_requested, set_resume};
+pub use store::Store;
+
+/// The guarded-site name for store operations (fault-injection target:
+/// `torn@ckpt/store`, `bitflip@ckpt/store`, `enospc@ckpt/store`).
+pub const SITE: &str = "ckpt/store";
+
+/// Records a successful resume from a valid checkpoint (counter + trace
+/// instant). Called by the resumable hot paths, not by [`Store`] itself,
+/// so a loaded-then-rejected checkpoint (e.g. config fingerprint mismatch)
+/// is not miscounted as a resume.
+pub fn note_resumed() {
+    x2v_obs::counter_add("ckpt/resumed", 1);
+    x2v_obs::mark("ckpt/resumed");
+}
+
+/// Records that a resume was attempted but no usable checkpoint existed
+/// (missing, all generations corrupt, or fingerprint mismatch) and the job
+/// cold-started from scratch.
+pub fn note_cold_start() {
+    x2v_obs::counter_add("ckpt/fallback_cold_start", 1);
+    x2v_obs::mark("ckpt/fallback_cold_start");
+}

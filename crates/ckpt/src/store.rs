@@ -1,0 +1,362 @@
+//! The generation-numbered, quarantine-on-corruption checkpoint store.
+//!
+//! Layout under the store root:
+//!
+//! ```text
+//! <root>/<job>/gen-000001.ckpt      oldest retained generation
+//! <root>/<job>/gen-000002.ckpt
+//! <root>/<job>/gen-000003.ckpt      newest
+//! <root>/<job>/quarantine/gen-000002.ckpt   (if generation 2 failed validation)
+//! ```
+//!
+//! Every file is a [`frame`](crate::frame) (`x2v-ckpt/v1`: magic + kind +
+//! length + CRC32 + payload) written through the site-tagged atomic writer
+//! ([`crate::atomic`]), so a crash at any instant leaves either the
+//! complete previous generation set or the complete new one. On load the
+//! store scans generations newest-first; a file that fails frame validation
+//! is moved to `quarantine/` (never deleted — it is the forensic evidence)
+//! and the scan falls back to the next older generation. Only when *no*
+//! generation validates does the caller cold-start.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use x2v_guard::GuardError;
+
+use crate::frame;
+
+/// How many generations [`Store::save`] retains per job before pruning the
+/// oldest. Two or more, so the newest generation being corrupt never strands
+/// the job: the previous one is still on disk.
+pub const DEFAULT_RETENTION: usize = 3;
+
+/// A durable, checksummed artifact store rooted at one directory.
+///
+/// Cheap to clone conceptually but deliberately not `Clone`: share it via
+/// `Arc` (see [`crate::install_ambient`]).
+#[derive(Debug)]
+pub struct Store {
+    root: PathBuf,
+    keep: usize,
+}
+
+impl Store {
+    /// Opens (creating if needed) a store rooted at `root`, with the
+    /// default retention of [`DEFAULT_RETENTION`] generations per job.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, GuardError> {
+        let root = root.into();
+        fs::create_dir_all(&root).map_err(|e| {
+            GuardError::storage(
+                crate::SITE,
+                format!("cannot create store root {}: {e}", root.display()),
+            )
+        })?;
+        Ok(Store {
+            root,
+            keep: DEFAULT_RETENTION,
+        })
+    }
+
+    /// Sets how many generations to retain per job (clamped to at least 2,
+    /// so corruption of the newest generation always leaves a fallback).
+    pub fn with_retention(mut self, keep: usize) -> Self {
+        self.keep = keep.max(2);
+        self
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The directory holding `job`'s generations.
+    pub fn job_dir(&self, job: &str) -> PathBuf {
+        self.root.join(sanitize_job(job))
+    }
+
+    /// Saves `payload` as the next generation of `job`, framed and tagged
+    /// `kind`, returning the new generation number (1-based). The write is
+    /// atomic; on success older generations beyond the retention limit are
+    /// pruned. Counts `ckpt/saved` and `ckpt/bytes_written`.
+    pub fn save(&self, job: &str, kind: &str, payload: &[u8]) -> Result<u64, GuardError> {
+        let dir = self.job_dir(job);
+        fs::create_dir_all(&dir).map_err(|e| {
+            GuardError::storage(
+                crate::SITE,
+                format!("cannot create job dir {}: {e}", dir.display()),
+            )
+        })?;
+        let generation = self
+            .generations(&dir)?
+            .last()
+            .map(|&(g, _)| g + 1)
+            .unwrap_or(1);
+        let path = dir.join(gen_file(generation));
+        let bytes = frame::encode(kind, payload);
+        crate::atomic::write_atomic(crate::SITE, &path, &bytes).map_err(|e| {
+            GuardError::storage(
+                crate::SITE,
+                format!("cannot write checkpoint {}: {e}", path.display()),
+            )
+        })?;
+        x2v_obs::counter_add("ckpt/saved", 1);
+        x2v_obs::counter_add("ckpt/bytes_written", bytes.len() as u64);
+        x2v_obs::mark("ckpt/saved");
+        self.prune(&dir, generation)?;
+        Ok(generation)
+    }
+
+    /// Loads the newest generation of `job` whose frame validates and whose
+    /// kind is `kind`, returning `(generation, payload)`. Generations that
+    /// fail validation are moved to `quarantine/` (counted as
+    /// `ckpt/corrupt_detected`) and the scan falls back to the next older
+    /// one. `Ok(None)` means no usable checkpoint exists: cold-start.
+    ///
+    /// Only unreadable *directories* surface as `Err` — individual bad files
+    /// never abort the scan.
+    pub fn load_latest(&self, job: &str, kind: &str) -> Result<Option<(u64, Vec<u8>)>, GuardError> {
+        let dir = self.job_dir(job);
+        if !dir.exists() {
+            return Ok(None);
+        }
+        let mut gens = self.generations(&dir)?;
+        gens.reverse(); // newest first
+        for (generation, path) in gens {
+            match fs::read(&path) {
+                Ok(bytes) => match frame::decode_kind(&bytes, kind) {
+                    Ok(payload) => return Ok(Some((generation, payload))),
+                    Err(err) => self.quarantine(&dir, &path, &err.to_string()),
+                },
+                Err(err) => self.quarantine(&dir, &path, &format!("unreadable: {err}")),
+            }
+        }
+        Ok(None)
+    }
+
+    /// Deletes every generation of `job` (quarantined files are kept). Used
+    /// when a finished job's checkpoints are no longer needed.
+    pub fn clear_job(&self, job: &str) -> Result<(), GuardError> {
+        let dir = self.job_dir(job);
+        if !dir.exists() {
+            return Ok(());
+        }
+        for (_, path) in self.generations(&dir)? {
+            fs::remove_file(&path).map_err(|e| {
+                GuardError::storage(
+                    crate::SITE,
+                    format!("cannot remove {}: {e}", path.display()),
+                )
+            })?;
+        }
+        Ok(())
+    }
+
+    /// All `gen-*.ckpt` files in `dir`, sorted by ascending generation.
+    fn generations(&self, dir: &Path) -> Result<Vec<(u64, PathBuf)>, GuardError> {
+        let mut out = Vec::new();
+        let entries = match fs::read_dir(dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+            Err(e) => {
+                return Err(GuardError::storage(
+                    crate::SITE,
+                    format!("cannot list {}: {e}", dir.display()),
+                ))
+            }
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(generation) = parse_gen_file(&name) {
+                out.push((generation, entry.path()));
+            }
+        }
+        out.sort_unstable_by_key(|&(g, _)| g);
+        Ok(out)
+    }
+
+    /// Moves a corrupt generation into `dir`'s `quarantine/` subdirectory
+    /// (best-effort — a failed move falls back to leaving the file, which a
+    /// later scan will quarantine again; it is never *loaded*).
+    fn quarantine(&self, dir: &Path, path: &Path, why: &str) {
+        x2v_obs::counter_add("ckpt/corrupt_detected", 1);
+        x2v_obs::mark("ckpt/corrupt_detected");
+        eprintln!(
+            "[x2v-ckpt] quarantining corrupt checkpoint {} ({why})",
+            path.display()
+        );
+        let qdir = dir.join("quarantine");
+        if fs::create_dir_all(&qdir).is_ok() {
+            if let Some(name) = path.file_name() {
+                let _ = fs::rename(path, qdir.join(name));
+            }
+        }
+    }
+
+    /// Removes generations older than the retention window ending at
+    /// `newest`.
+    fn prune(&self, dir: &Path, newest: u64) -> Result<(), GuardError> {
+        let cutoff = newest.saturating_sub(self.keep as u64 - 1);
+        for (generation, path) in self.generations(dir)? {
+            if generation < cutoff {
+                // Best-effort: a prune failure must not fail the save that
+                // triggered it.
+                let _ = fs::remove_file(&path);
+            }
+        }
+        Ok(())
+    }
+}
+
+fn gen_file(generation: u64) -> String {
+    format!("gen-{generation:06}.ckpt")
+}
+
+fn parse_gen_file(name: &str) -> Option<u64> {
+    name.strip_prefix("gen-")?
+        .strip_suffix(".ckpt")?
+        .parse()
+        .ok()
+}
+
+/// Maps an arbitrary job name onto a safe single path component: every
+/// character outside `[A-Za-z0-9._-]` becomes `_`. Distinct jobs should use
+/// names that stay distinct under this mapping.
+fn sanitize_job(job: &str) -> String {
+    let mapped: String = job
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    // Never produce a dot-only component ("." / "..") or an empty one.
+    if mapped.is_empty() || mapped.chars().all(|c| c == '.') {
+        "job".to_string()
+    } else {
+        mapped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpstore(tag: &str) -> Store {
+        let d = std::env::temp_dir().join(format!("x2v-ckpt-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        Store::open(d).unwrap()
+    }
+
+    fn teardown(store: Store) {
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn save_load_round_trip_with_generations() {
+        let store = tmpstore("rt");
+        assert_eq!(store.load_latest("j", "k").unwrap(), None);
+        assert_eq!(store.save("j", "k", b"one").unwrap(), 1);
+        assert_eq!(store.save("j", "k", b"two").unwrap(), 2);
+        let (generation, payload) = store.load_latest("j", "k").unwrap().unwrap();
+        assert_eq!(generation, 2);
+        assert_eq!(payload, b"two");
+        teardown(store);
+    }
+
+    #[test]
+    fn retention_prunes_oldest() {
+        let store = tmpstore("prune").with_retention(2);
+        for i in 0..5u8 {
+            store.save("j", "k", &[i]).unwrap();
+        }
+        let dir = store.job_dir("j");
+        let mut names: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        assert_eq!(names, vec!["gen-000004.ckpt", "gen-000005.ckpt"]);
+        teardown(store);
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_and_quarantines() {
+        let store = tmpstore("corrupt");
+        store.save("j", "k", b"good").unwrap();
+        store.save("j", "k", b"newer").unwrap();
+        // Flip a payload bit in the newest generation on disk.
+        let newest = store.job_dir("j").join("gen-000002.ckpt");
+        let mut bytes = fs::read(&newest).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x10;
+        fs::write(&newest, &bytes).unwrap();
+
+        let (generation, payload) = store.load_latest("j", "k").unwrap().unwrap();
+        assert_eq!(generation, 1);
+        assert_eq!(payload, b"good");
+        // The corrupt file moved to quarantine, not deleted.
+        assert!(!newest.exists());
+        assert!(store
+            .job_dir("j")
+            .join("quarantine")
+            .join("gen-000002.ckpt")
+            .exists());
+        teardown(store);
+    }
+
+    #[test]
+    fn all_generations_corrupt_means_cold_start() {
+        let store = tmpstore("cold");
+        store.save("j", "k", b"a").unwrap();
+        store.save("j", "k", b"b").unwrap();
+        for entry in fs::read_dir(store.job_dir("j")).unwrap().flatten() {
+            if entry.path().extension().is_some_and(|e| e == "ckpt") {
+                fs::write(entry.path(), b"garbage, not a frame").unwrap();
+            }
+        }
+        assert_eq!(store.load_latest("j", "k").unwrap(), None);
+        teardown(store);
+    }
+
+    #[test]
+    fn kind_mismatch_is_not_loaded() {
+        let store = tmpstore("kind");
+        store.save("j", "gram-rows", b"rows").unwrap();
+        assert_eq!(store.load_latest("j", "sgns-epoch").unwrap(), None);
+        teardown(store);
+    }
+
+    #[test]
+    fn job_names_are_sanitized() {
+        assert_eq!(sanitize_job("w2v/seed-42"), "w2v_seed-42");
+        assert_eq!(sanitize_job("../escape"), ".._escape");
+        assert_eq!(sanitize_job(".."), "job");
+        assert_eq!(sanitize_job(""), "job");
+        let store = tmpstore("sanitize");
+        store.save("a/b", "k", b"x").unwrap();
+        assert!(store.root().join("a_b").is_dir());
+        teardown(store);
+    }
+
+    #[test]
+    fn clear_job_removes_generations_keeps_quarantine() {
+        let store = tmpstore("clear");
+        store.save("j", "k", b"a").unwrap();
+        store.save("j", "k", b"b").unwrap();
+        let newest = store.job_dir("j").join("gen-000002.ckpt");
+        let mut bytes = fs::read(&newest).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        fs::write(&newest, &bytes).unwrap();
+        store.load_latest("j", "k").unwrap(); // quarantines gen 2
+        store.clear_job("j").unwrap();
+        assert_eq!(store.load_latest("j", "k").unwrap(), None);
+        assert!(store.job_dir("j").join("quarantine").is_dir());
+        teardown(store);
+    }
+}

@@ -1,0 +1,98 @@
+//! Store behaviour under injected faults: every `X2V_FAULTS` store kind
+//! (`torn`, `bitflip`, `enospc`) must surface as a typed error or a
+//! detected-and-quarantined corruption — never a panic, never silently
+//! wrong data.
+
+use x2v_guard::faults::{self, StoreFaultKind};
+use x2v_guard::GuardError;
+
+use x2v_ckpt::Store;
+
+fn tmpstore(tag: &str) -> Store {
+    let d = std::env::temp_dir().join(format!("x2v-ckpt-faults-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    Store::open(d).unwrap()
+}
+
+// Fault slots are process-global; the whole matrix runs in ONE #[test] so
+// parallel test threads cannot interleave arm/clear (the workspace's
+// established pattern for global-state suites).
+#[test]
+fn injected_store_faults_degrade_without_panicking() {
+    faults::clear();
+
+    // --- enospc: save fails with a typed Storage error; previously saved
+    // generations are untouched and still load.
+    let store = tmpstore("enospc");
+    store.save("job", "k", b"generation one").unwrap();
+    faults::inject_store(StoreFaultKind::Enospc, x2v_ckpt::SITE, 1);
+    let err = store.save("job", "k", b"generation two").unwrap_err();
+    assert!(
+        matches!(
+            err,
+            GuardError::Storage {
+                site: "ckpt/store",
+                ..
+            }
+        ),
+        "expected typed storage error, got {err:?}"
+    );
+    let (generation, payload) = store.load_latest("job", "k").unwrap().unwrap();
+    assert_eq!(
+        (generation, payload.as_slice()),
+        (1, b"generation one".as_slice())
+    );
+    let _ = std::fs::remove_dir_all(store.root());
+
+    // --- torn: the save "succeeds" (the crash happens after the syscall
+    // returns, as a real torn write would), but the loader detects the
+    // truncated frame, quarantines it, and falls back to the previous
+    // generation.
+    let store = tmpstore("torn");
+    store.save("job", "k", b"good generation").unwrap();
+    faults::inject_store(StoreFaultKind::Torn, x2v_ckpt::SITE, 1);
+    store.save("job", "k", b"torn generation").unwrap();
+    let (generation, payload) = store.load_latest("job", "k").unwrap().unwrap();
+    assert_eq!(
+        (generation, payload.as_slice()),
+        (1, b"good generation".as_slice())
+    );
+    assert!(
+        store
+            .job_dir("job")
+            .join("quarantine")
+            .join("gen-000002.ckpt")
+            .exists(),
+        "torn generation must be quarantined, not deleted"
+    );
+    let _ = std::fs::remove_dir_all(store.root());
+
+    // --- bitflip: silent corruption is caught by the CRC, quarantined,
+    // and the previous generation is used.
+    let store = tmpstore("bitflip");
+    store.save("job", "k", b"good generation").unwrap();
+    faults::inject_store(StoreFaultKind::Bitflip, x2v_ckpt::SITE, 1);
+    store.save("job", "k", b"flipped generation").unwrap();
+    let (generation, payload) = store.load_latest("job", "k").unwrap().unwrap();
+    assert_eq!(
+        (generation, payload.as_slice()),
+        (1, b"good generation".as_slice())
+    );
+    let _ = std::fs::remove_dir_all(store.root());
+
+    // --- every generation corrupt: cold start (None), not an error.
+    let store = tmpstore("all-bad");
+    faults::inject_store(StoreFaultKind::Torn, x2v_ckpt::SITE, 1);
+    store.save("job", "k", b"only generation, torn").unwrap();
+    assert_eq!(store.load_latest("job", "k").unwrap(), None);
+    let _ = std::fs::remove_dir_all(store.root());
+
+    // --- faults are one-shot: the store works normally afterwards.
+    let store = tmpstore("after");
+    store.save("job", "k", b"clean").unwrap();
+    let (_, payload) = store.load_latest("job", "k").unwrap().unwrap();
+    assert_eq!(payload, b"clean");
+    let _ = std::fs::remove_dir_all(store.root());
+
+    faults::clear();
+}

@@ -26,6 +26,15 @@ impl DeepWalk {
     }
 }
 
+impl DeepWalk {
+    /// Trains and returns the full model, checkpointing under the
+    /// `"deepwalk"` job when an ambient [`x2v_ckpt::Store`] is installed
+    /// (see [`crate::word2vec::Word2Vec::train_job`]).
+    pub fn train(&self, g: &Graph) -> crate::word2vec::Word2Vec {
+        self.inner.train_job(g, "deepwalk")
+    }
+}
+
 impl Default for DeepWalk {
     fn default() -> Self {
         Self::new()

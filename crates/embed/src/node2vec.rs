@@ -37,8 +37,17 @@ impl Node2Vec {
 
     /// Trains and returns the full model (for access beyond the trait).
     pub fn train(&self, g: &Graph) -> Word2Vec {
+        self.train_job(g, "node2vec")
+    }
+
+    /// [`train`](Self::train) under an explicit checkpoint job name: the
+    /// underlying SGNS epochs checkpoint into the ambient
+    /// [`x2v_ckpt::Store`] (when installed) and resume from it, see
+    /// [`Word2Vec::train_job`]. Walk generation is deterministic and cheap
+    /// relative to training, so it is simply re-run on resume.
+    pub fn train_job(&self, g: &Graph, job: &str) -> Word2Vec {
         let corpus = generate_walks(g, &self.config.walks);
-        Word2Vec::train(&corpus, g.order().max(1), &self.config.sgns)
+        Word2Vec::train_job(&corpus, g.order().max(1), &self.config.sgns, job)
     }
 }
 

@@ -7,6 +7,8 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use x2v_ckpt::codec::{Dec, Enc};
+use x2v_ckpt::crc32::Crc32;
 use x2v_linalg::sampling::AliasTable;
 use x2v_linalg::vector::sigmoid;
 
@@ -53,6 +55,76 @@ pub struct Word2Vec {
 /// The guarded-site name for SGNS training.
 pub const SITE: &str = "embed/word2vec";
 
+/// The checkpoint frame kind for SGNS epoch state.
+pub const CKPT_KIND: &str = "sgns-epoch";
+
+/// Epoch-granular SGNS training state, exactly what must survive a crash
+/// for the resumed run to be bit-identical to an uninterrupted one: both
+/// embedding matrices, the SGD step counter (which drives learning-rate
+/// decay) and the full RNG stream state.
+struct EpochCkpt {
+    fingerprint: u32,
+    epochs_done: u64,
+    step: u64,
+    rng: [u64; 4],
+    input: Vec<f64>,
+    output: Vec<f64>,
+}
+
+impl EpochCkpt {
+    fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u32(self.fingerprint).u64(self.epochs_done).u64(self.step);
+        for s in self.rng {
+            e.u64(s);
+        }
+        e.f64_slice(&self.input).f64_slice(&self.output);
+        e.finish()
+    }
+
+    fn decode(payload: &[u8], matrix_len: usize) -> Option<Self> {
+        let mut d = Dec::new(payload);
+        let ck = EpochCkpt {
+            fingerprint: d.u32("fingerprint").ok()?,
+            epochs_done: d.u64("epochs_done").ok()?,
+            step: d.u64("step").ok()?,
+            rng: [
+                d.u64("rng0").ok()?,
+                d.u64("rng1").ok()?,
+                d.u64("rng2").ok()?,
+                d.u64("rng3").ok()?,
+            ],
+            input: d.f64_vec(matrix_len, "input").ok()?,
+            output: d.f64_vec(matrix_len, "output").ok()?,
+        };
+        d.finish("trailing").ok()?;
+        Some(ck)
+    }
+}
+
+/// Fingerprints the training configuration and corpus shape; a checkpoint
+/// whose fingerprint differs is stale (different hyperparameters or data)
+/// and triggers a cold start instead of a silently-wrong resume.
+fn config_fingerprint(
+    config: &SgnsConfig,
+    vocab: usize,
+    sentences: usize,
+    total_tokens: usize,
+) -> u32 {
+    let mut c = Crc32::new();
+    c.update(CKPT_KIND.as_bytes());
+    c.update_u64(config.dim as u64);
+    c.update_u64(config.window as u64);
+    c.update_u64(config.negative as u64);
+    c.update_u64(config.epochs as u64);
+    c.update_u64(config.learning_rate.to_bits());
+    c.update_u64(config.seed);
+    c.update_u64(vocab as u64);
+    c.update_u64(sentences as u64);
+    c.update_u64(total_tokens as u64);
+    c.finish()
+}
+
 impl Word2Vec {
     /// Trains on a corpus of token-id sentences over `vocab` tokens.
     ///
@@ -65,6 +137,21 @@ impl Word2Vec {
     /// # Panics
     /// If any token id is `≥ vocab` or the corpus is empty.
     pub fn train(corpus: &[Vec<usize>], vocab: usize, config: &SgnsConfig) -> Self {
+        Self::train_job(corpus, vocab, config, "word2vec")
+    }
+
+    /// [`train`](Self::train) under an explicit checkpoint job name.
+    ///
+    /// When an ambient [`x2v_ckpt::Store`] is installed, the full training
+    /// state (both matrices, the SGD step counter and the RNG stream state)
+    /// is checkpointed under `job` after every epoch, so a crashed or
+    /// budget-tripped run resumes — with [`x2v_ckpt::set_resume`] in effect
+    /// — to the *bit-identical* final model an uninterrupted run produces.
+    /// A checkpoint whose configuration fingerprint, matrix shape or epoch
+    /// count does not match is ignored (`ckpt/fallback_cold_start`); a save
+    /// failure is a logged, counted degradation (`ckpt/save_failed`), never
+    /// a training failure.
+    pub fn train_job(corpus: &[Vec<usize>], vocab: usize, config: &SgnsConfig, job: &str) -> Self {
         let _timer = x2v_obs::span("embed/word2vec_train");
         assert!(!corpus.is_empty(), "empty corpus");
         let mut counts = vec![0f64; vocab];
@@ -91,9 +178,65 @@ impl Word2Vec {
         // Negative-sample draws accumulate locally; the registry lock is
         // taken once at the end, not inside the SGD loop.
         let mut neg_draws = 0u64;
+
+        // Checkpoint/resume: with an ambient store installed and `--resume`
+        // in effect, restore the newest valid epoch checkpoint for this job
+        // and continue from there; the RNG stream state travels with the
+        // matrices, so the resumed run replays the exact token/negative
+        // sequence the uninterrupted run would have seen.
+        let fingerprint = config_fingerprint(config, vocab, corpus.len(), total_tokens);
+        let store = x2v_ckpt::ambient();
+        let mut start_epoch = 0usize;
+        if let Some(store) = store.as_deref() {
+            if x2v_ckpt::resume_requested() {
+                let loaded = store
+                    .load_latest(job, CKPT_KIND)
+                    .ok()
+                    .flatten()
+                    .and_then(|(_, payload)| EpochCkpt::decode(&payload, vocab * dim))
+                    .filter(|ck| {
+                        ck.fingerprint == fingerprint
+                            && ck.input.len() == vocab * dim
+                            && ck.output.len() == vocab * dim
+                            && ck.epochs_done as usize <= config.epochs
+                            && ck.rng != [0, 0, 0, 0]
+                    });
+                match loaded {
+                    Some(ck) => {
+                        start_epoch = ck.epochs_done as usize;
+                        step = ck.step as usize;
+                        rng = StdRng::from_state(ck.rng);
+                        input = ck.input;
+                        output = ck.output;
+                        x2v_ckpt::note_resumed();
+                    }
+                    None => x2v_ckpt::note_cold_start(),
+                }
+            }
+        }
+        let save_epoch_ckpt = |store: &x2v_ckpt::Store,
+                               epochs_done: usize,
+                               step: usize,
+                               rng: &StdRng,
+                               input: &[f64],
+                               output: &[f64]| {
+            let ck = EpochCkpt {
+                fingerprint,
+                epochs_done: epochs_done as u64,
+                step: step as u64,
+                rng: rng.state(),
+                input: input.to_vec(),
+                output: output.to_vec(),
+            };
+            if let Err(e) = store.save(job, CKPT_KIND, &ck.encode()) {
+                x2v_obs::counter_add("ckpt/save_failed", 1);
+                eprintln!("[x2v-embed] checkpoint save failed for job {job:?}: {e}");
+            }
+        };
+
         let budget = x2v_guard::ambient();
         let mut meter = budget.meter(SITE);
-        for epoch in 0..config.epochs {
+        for epoch in start_epoch..config.epochs {
             // Cooperative budget check between epochs (one work unit per
             // token trained): a trip stops early with the vectors learnt
             // so far — a usable partial embedding — instead of panicking.
@@ -160,6 +303,12 @@ impl Word2Vec {
                         }
                     }
                 }
+            }
+            // Epoch boundary: persist the full training state. A budget
+            // trip at the top of the next epoch then leaves this epoch's
+            // work durable instead of discarding it.
+            if let Some(store) = store.as_deref() {
+                save_epoch_ckpt(store, epoch + 1, step, &rng, &input, &output);
             }
         }
         x2v_obs::counter_add("embed/negative_samples", neg_draws);

@@ -57,6 +57,15 @@ pub enum GuardError {
         /// What broke and where, phrased actionably.
         message: String,
     },
+    /// A durable-artifact operation failed: an atomic write could not
+    /// complete (I/O error, disk full) or a stored artifact failed
+    /// validation (bad magic, truncated frame, checksum mismatch).
+    Storage {
+        /// The guarded call site (e.g. `"ckpt/store"`).
+        site: &'static str,
+        /// What failed and on which path, phrased actionably.
+        message: String,
+    },
 }
 
 impl GuardError {
@@ -76,6 +85,14 @@ impl GuardError {
         }
     }
 
+    /// Constructs a [`GuardError::Storage`].
+    pub fn storage(site: &'static str, message: impl Into<String>) -> Self {
+        GuardError::Storage {
+            site,
+            message: message.into(),
+        }
+    }
+
     /// The call site the error was raised from.
     pub fn site(&self) -> &'static str {
         match self {
@@ -83,7 +100,8 @@ impl GuardError {
             | GuardError::Cancelled { site, .. }
             | GuardError::NonConvergence { site, .. }
             | GuardError::InvalidInput { site, .. }
-            | GuardError::NumericFailure { site, .. } => site,
+            | GuardError::NumericFailure { site, .. }
+            | GuardError::Storage { site, .. } => site,
         }
     }
 
@@ -137,6 +155,9 @@ impl fmt::Display for GuardError {
             GuardError::NumericFailure { site, message } => {
                 write!(f, "numeric failure in {site}: {message}")
             }
+            GuardError::Storage { site, message } => {
+                write!(f, "storage failure in {site}: {message}")
+            }
         }
     }
 }
@@ -150,4 +171,6 @@ pub const TRIAGE: &str = "\
   Cancelled        expected after a CancelToken fires; the partial work is discarded\n\
   NonConvergence   raise max_iters/retries or loosen the tolerance\n\
   InvalidInput     fix the input named in the message; nothing was computed\n\
-  NumericFailure   the input poisons floating point (NaN/inf) or overflows exact counts";
+  NumericFailure   the input poisons floating point (NaN/inf) or overflows exact counts\n\
+  Storage          an artifact write failed or a stored artifact is corrupt; check disk\n\
+                   space and the quarantine directory, then re-run (resume is safe)";

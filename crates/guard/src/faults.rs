@@ -22,6 +22,16 @@
 //! * `nan@site:N` — the N-th value passed through [`poison_f64`] at `site`
 //!   is replaced by NaN.
 //!
+//! Store-level fault kinds target durable-artifact writers (queried via
+//! [`store_fault`], honoured by `x2v-ckpt`'s tagged atomic writer):
+//!
+//! * `torn@site:N` — the N-th write at `site` persists only a prefix of
+//!   its bytes, simulating a crash mid-write of a non-atomic writer;
+//! * `bitflip@site:N` — one bit of the N-th write's payload is flipped
+//!   after any checksum was computed, simulating silent media corruption;
+//! * `enospc@site:N` — the N-th write at `site` fails with an I/O error
+//!   before anything reaches the destination, simulating a full disk.
+//!
 //! Every fired fault increments the `guard/faults_injected` obs counter.
 
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -37,10 +47,23 @@ pub enum FaultKind {
     Cancel,
 }
 
+/// The kind of durable-store fault a tagged artifact write can be forced
+/// to exhibit (see [`store_fault`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoreFaultKind {
+    /// Persist only a prefix of the bytes (a torn write).
+    Torn,
+    /// Flip one payload bit after checksumming (silent corruption).
+    Bitflip,
+    /// Fail the write before touching the destination (disk full).
+    Enospc,
+}
+
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Kind {
     Flow(FaultKind),
     Nan,
+    Store(StoreFaultKind),
 }
 
 /// One armed fault: fire `kind` on the `at`-th call at `site`.
@@ -77,6 +100,9 @@ fn ensure_env_parsed() {
                         "budget" => Kind::Flow(FaultKind::Budget),
                         "cancel" => Kind::Flow(FaultKind::Cancel),
                         "nan" => Kind::Nan,
+                        "torn" => Kind::Store(StoreFaultKind::Torn),
+                        "bitflip" => Kind::Store(StoreFaultKind::Bitflip),
+                        "enospc" => Kind::Store(StoreFaultKind::Enospc),
                         other => {
                             eprintln!("[x2v-guard] ignoring unknown fault kind {other:?}");
                             continue;
@@ -117,6 +143,13 @@ pub fn inject_nan(site: &str, at: u64) {
     arm(Kind::Nan, site, at.max(1));
 }
 
+/// Programmatically arms a store fault: the `at`-th tagged artifact write
+/// at `site` (1-based) exhibits `kind`.
+pub fn inject_store(kind: StoreFaultKind, site: &str, at: u64) {
+    ensure_env_parsed();
+    arm(Kind::Store(kind), site, at.max(1));
+}
+
 /// Disarms every pending fault (armed by env or programmatically).
 pub fn clear() {
     ensure_env_parsed();
@@ -147,6 +180,33 @@ pub(crate) fn armed(site: &str) -> Option<FaultKind> {
             slot.calls += 1;
             if slot.calls == slot.at {
                 slot.fired = true;
+                return Some(kind);
+            }
+        }
+    }
+    None
+}
+
+/// Called by a tagged artifact writer before persisting bytes at `site`:
+/// counts this write against armed store faults and returns the fault it
+/// must exhibit, if one fires. One relaxed atomic load when nothing is
+/// armed. Firing increments `guard/faults_injected` and emits the
+/// `guard/fault_injected` trace instant, like every other fault kind.
+pub fn store_fault(site: &str) -> Option<StoreFaultKind> {
+    if !any_armed() {
+        return None;
+    }
+    let mut slots = SLOTS.lock().expect("fault slots lock");
+    for slot in slots.iter_mut() {
+        if slot.fired || slot.site != site {
+            continue;
+        }
+        if let Kind::Store(kind) = slot.kind {
+            slot.calls += 1;
+            if slot.calls == slot.at {
+                slot.fired = true;
+                x2v_obs::counter_add("guard/faults_injected", 1);
+                x2v_obs::mark("guard/fault_injected");
                 return Some(kind);
             }
         }
@@ -201,6 +261,12 @@ mod tests {
         assert_eq!(poison_f64("test/nan", 1.5), 1.5);
         assert!(poison_f64("test/nan", 1.5).is_nan());
         assert_eq!(poison_f64("test/nan", 1.5), 1.5);
+
+        inject_store(StoreFaultKind::Torn, "test/store", 2);
+        assert_eq!(store_fault("other/store"), None);
+        assert_eq!(store_fault("test/store"), None); // write 1: not yet
+        assert_eq!(store_fault("test/store"), Some(StoreFaultKind::Torn));
+        assert_eq!(store_fault("test/store"), None); // fired, stays off
 
         clear();
         assert!(!any_armed());

@@ -13,15 +13,17 @@
 //!   whose [`Meter::tick`] costs one addition and compare on the hot path;
 //! * [`GuardError`] — the workspace-wide typed error
 //!   (`BudgetExhausted` / `Cancelled` / `NonConvergence` / `InvalidInput` /
-//!   `NumericFailure`) returned by every fallible `try_*` hot-path API;
+//!   `NumericFailure` / `Storage`) returned by every fallible `try_*`
+//!   hot-path API;
 //! * [`Partial`] — a declared-partial result for the degrading variants
 //!   that prefer a truncated answer over an error;
 //! * an **ambient budget** ([`install_ambient`]) that infallible wrapper
 //!   APIs meter against — the `--budget-ms` / `X2V_BUDGET_MS` escape hatch
 //!   of the `exp_*` binaries;
 //! * [`faults`] — deterministic, env-gated fault injection (`X2V_FAULTS`)
-//!   that forces budget exhaustion, cancellation and NaN poisoning at
-//!   chosen call counts, so every degradation path is itself under test.
+//!   that forces budget exhaustion, cancellation, NaN poisoning and
+//!   store-level corruption (torn writes, bit flips, disk-full) at chosen
+//!   call counts, so every degradation path is itself under test.
 //!
 //! Degradations are observable: trips and fallbacks increment the
 //! `guard/budget_exhausted`, `guard/cancelled`, `guard/degraded`,

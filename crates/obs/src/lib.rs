@@ -52,10 +52,12 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod fsio;
 mod progress;
 mod registry;
 mod report;
 
+pub use fsio::atomic_write;
 pub use progress::{progress, set_progress_handler, ProgressEvent};
 pub use registry::{HistSnapshot, Registry, SpanSnapshot};
 pub use report::{json_escape, Report};

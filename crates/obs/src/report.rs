@@ -213,7 +213,9 @@ impl Report {
 
     /// Writes the JSON report to `<dir>/<run>.json` where `<dir>` is
     /// `$X2V_OBS_DIR` or `target/obs`. Creates the directory; sanitises the
-    /// run name into a safe filename. Returns the path written.
+    /// run name into a safe filename. The write is atomic
+    /// ([`crate::fsio::atomic_write`]): a crash mid-write can never leave a
+    /// torn report behind. Returns the path written.
     pub fn write_json_file(&self) -> std::io::Result<PathBuf> {
         let dir = std::env::var("X2V_OBS_DIR")
             .map(PathBuf::from)
@@ -231,7 +233,7 @@ impl Report {
             })
             .collect();
         let path = dir.join(format!("{safe}.json"));
-        std::fs::write(&path, self.to_json())?;
+        crate::fsio::atomic_write(&path, self.to_json().as_bytes())?;
         Ok(path)
     }
 }

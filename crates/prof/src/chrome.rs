@@ -141,7 +141,9 @@ pub fn trace_json(run: &str) -> String {
 }
 
 /// Writes the trace to `<dir>/<run>.trace.json` where `<dir>` is
-/// `$X2V_TRACE_DIR` or `target/trace`, and returns the path.
+/// `$X2V_TRACE_DIR` or `target/trace`, and returns the path. The write is
+/// atomic (`x2v_obs::fsio::atomic_write`): a crash mid-export can never
+/// leave a torn trace behind.
 pub fn write_trace(run: &str) -> std::io::Result<PathBuf> {
     let dir = std::env::var("X2V_TRACE_DIR")
         .map(PathBuf::from)
@@ -158,7 +160,7 @@ pub fn write_trace(run: &str) -> std::io::Result<PathBuf> {
         })
         .collect();
     let path = dir.join(format!("{safe}.trace.json"));
-    std::fs::write(&path, trace_json(run))?;
+    x2v_obs::fsio::atomic_write(&path, trace_json(run).as_bytes())?;
     Ok(path)
 }
 

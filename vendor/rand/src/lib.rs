@@ -244,6 +244,28 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// Captures the raw xoshiro256++ state, for checkpointing: a
+        /// generator restored via [`StdRng::from_state`] continues the
+        /// exact stream this one would have produced.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Restores a generator from a state captured by [`StdRng::state`].
+        ///
+        /// # Panics
+        /// If `s` is all-zero (not a reachable xoshiro256++ state; a
+        /// checkpoint containing it is corrupt).
+        pub fn from_state(s: [u64; 4]) -> Self {
+            assert!(
+                s != [0, 0, 0, 0],
+                "all-zero xoshiro256++ state is unreachable; refusing to restore"
+            );
+            StdRng { s }
+        }
+    }
+
     impl SeedableRng for StdRng {
         type Seed = [u8; 32];
 
@@ -283,6 +305,19 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(a.next_u64(), b.next_u64());
         }
+    }
+
+    #[test]
+    fn state_round_trip_continues_stream() {
+        let mut a = StdRng::seed_from_u64(11);
+        for _ in 0..17 {
+            a.next_u64();
+        }
+        let mut b = StdRng::from_state(a.state());
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        assert_eq!(a.state(), b.state());
     }
 
     #[test]
