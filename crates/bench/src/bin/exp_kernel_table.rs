@@ -20,7 +20,7 @@ fn main() {
     let _obs = x2v_bench::ObsRun::new("exp_kernel_table");
     println!("E13 — kernel comparison (5-fold CV accuracy, SVM)\n");
     let suite = standard_suite(42);
-    let kernels: Vec<(&str, Box<dyn GraphKernel>)> = vec![
+    let kernels: Vec<(&str, Box<dyn GraphKernel + Sync>)> = vec![
         ("WL t=1", Box::new(WlSubtreeKernel::new(1))),
         ("WL t=3", Box::new(WlSubtreeKernel::new(3))),
         ("WL t=5", Box::new(WlSubtreeKernel::new(5))),

@@ -13,7 +13,7 @@ use x2v_linalg::Matrix;
 /// matrix is computed once and cosine-normalised (standard practice for
 /// count-valued kernels feeding an SVM).
 pub fn kernel_cv_accuracy(
-    kernel: &dyn GraphKernel,
+    kernel: &(dyn GraphKernel + Sync),
     dataset: &GraphDataset,
     folds: usize,
     seed: u64,
@@ -39,7 +39,7 @@ pub fn kernel_cv_accuracy(
 /// (metered per kernel evaluation) and numeric failures from
 /// normalisation.
 pub fn kernel_cv_accuracy_resumable(
-    kernel: &dyn GraphKernel,
+    kernel: &(dyn GraphKernel + Sync),
     dataset: &GraphDataset,
     folds: usize,
     seed: u64,

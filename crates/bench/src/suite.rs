@@ -106,10 +106,21 @@ pub struct BenchResult {
     /// Deterministic output checksum (identical across runs on the same
     /// code; a change means the *computation* changed, not just its speed).
     pub work: u64,
+    /// Worker threads the workload ran with (1 = pinned serial; otherwise
+    /// the ambient `x2v_par::threads()` resolution at run time).
+    pub threads: usize,
 }
 
 struct Workload {
     name: &'static str,
+    /// Thread pin for the measurement: `1` runs under
+    /// `x2v_par::with_threads(1)` (the serial baselines and every
+    /// pre-existing workload, so `BENCH_0` numbers stay comparable);
+    /// `0` leaves the ambient `X2V_THREADS` resolution in force.
+    threads: usize,
+    /// Serial twin whose `work` checksum this workload must reproduce —
+    /// the determinism cross-check for the `*_par` workloads.
+    baseline: Option<&'static str>,
     run: Box<dyn FnMut() -> u64>,
 }
 
@@ -132,6 +143,8 @@ fn workloads(smoke: bool) -> Vec<Workload> {
     let g_wl = gnp(pick(300, 60), 0.05, &mut StdRng::seed_from_u64(11));
     out.push(Workload {
         name: "wl/refine_1wl",
+        threads: 1,
+        baseline: None,
         run: Box::new(move || {
             let h = Refiner::new().refine_to_stable(&g_wl);
             (h.num_rounds() as u64) << 32 | h.num_classes(h.num_rounds()) as u64
@@ -142,6 +155,8 @@ fn workloads(smoke: bool) -> Vec<Workload> {
     let g_kwl = gnp(pick(26, 12), 0.3, &mut StdRng::seed_from_u64(12));
     out.push(Workload {
         name: "wl/kwl_2",
+        threads: 1,
+        baseline: None,
         run: Box::new(move || KwlRefiner::new(2).run(&g_kwl).histogram().len() as u64),
     });
 
@@ -150,6 +165,8 @@ fn workloads(smoke: bool) -> Vec<Workload> {
     let g_brute = gnp(pick(16, 9), 0.35, &mut StdRng::seed_from_u64(13));
     out.push(Workload {
         name: "hom/brute",
+        threads: 1,
+        baseline: None,
         run: Box::new(move || fold_u128(x2v_hom::brute::hom_count(&f_brute, &g_brute))),
     });
 
@@ -158,6 +175,8 @@ fn workloads(smoke: bool) -> Vec<Workload> {
     let g_decomp = gnp(pick(28, 10), 0.15, &mut StdRng::seed_from_u64(14));
     out.push(Workload {
         name: "hom/decomp",
+        threads: 1,
+        baseline: None,
         run: Box::new(move || fold_u128(x2v_hom::decomp::hom_count_decomp(&f_decomp, &g_decomp))),
     });
 
@@ -166,6 +185,8 @@ fn workloads(smoke: bool) -> Vec<Workload> {
     let ds = cycles_vs_trees(pick(24, 8), 8, 15);
     out.push(Workload {
         name: "kernel/gram_svm",
+        threads: 1,
+        baseline: None,
         run: Box::new(move || {
             let kernel = WlSubtreeKernel::new(3);
             let acc = kernel_cv_accuracy_resumable(&kernel, &ds, 3, 16, "bench-gram")
@@ -197,6 +218,8 @@ fn workloads(smoke: bool) -> Vec<Workload> {
     };
     out.push(Workload {
         name: "embed/word2vec",
+        threads: 1,
+        baseline: None,
         run: Box::new(move || {
             let model = Word2Vec::train(&corpus, vocab, &sgns);
             fold_f64s(model.vector(0))
@@ -214,6 +237,8 @@ fn workloads(smoke: bool) -> Vec<Workload> {
     };
     out.push(Workload {
         name: "embed/node2vec_walks",
+        threads: 1,
+        baseline: None,
         run: Box::new(move || {
             generate_walks(&g_n2v, &walk_cfg)
                 .iter()
@@ -228,6 +253,8 @@ fn workloads(smoke: bool) -> Vec<Workload> {
     let batch: Vec<_> = (0..8).map(|_| gnp(pick(40, 12), 0.1, &mut rng)).collect();
     out.push(Workload {
         name: "gnn/forward",
+        threads: 1,
+        baseline: None,
         run: Box::new(move || {
             batch
                 .iter()
@@ -235,6 +262,45 @@ fn workloads(smoke: bool) -> Vec<Workload> {
                 .fold(0u64, |acc, h| acc.rotate_left(13) ^ h)
         }),
     });
+
+    // Serial/parallel workload pairs over the same inputs: the `*_par` twin
+    // runs with the ambient thread count and must reproduce the serial
+    // `work` checksum bit for bit — the suite-level enforcement of the
+    // x2v-par determinism contract (and the medians quantify the speedup).
+    let g_refine = gnp(pick(2400, 100), 0.005, &mut StdRng::seed_from_u64(29));
+    for (name, threads, baseline) in [
+        ("wl/refine_serial", 1, None),
+        ("wl/refine_par", 0, Some("wl/refine_serial")),
+    ] {
+        let g = g_refine.clone();
+        out.push(Workload {
+            name,
+            threads,
+            baseline,
+            run: Box::new(move || {
+                let h = Refiner::new().refine_to_stable(&g);
+                (h.num_rounds() as u64) << 32 | h.num_classes(h.num_rounds()) as u64
+            }),
+        });
+    }
+    let ds_gram = cycles_vs_trees(pick(28, 6), 10, 17);
+    for (name, threads, baseline) in [
+        ("kernel/gram_serial", 1, None),
+        ("kernel/gram_par", 0, Some("kernel/gram_serial")),
+    ] {
+        let graphs = ds_gram.graphs.clone();
+        out.push(Workload {
+            name,
+            threads,
+            baseline,
+            run: Box::new(move || {
+                let kernel = WlSubtreeKernel::new(3);
+                let m = x2v_kernel::gram::gram_resumable(&kernel, &graphs, "bench-gram-pair")
+                    .unwrap_or_else(|e| panic!("{e}"));
+                fold_f64s(m.as_slice())
+            }),
+        });
+    }
 
     out
 }
@@ -278,7 +344,8 @@ fn encode_progress(fingerprint: u32, results: &[BenchResult]) -> Vec<u8> {
             .f64(r.mean_ns)
             .u64(r.min_ns)
             .u64(r.max_ns)
-            .u64(r.work);
+            .u64(r.work)
+            .u64(r.threads as u64);
     }
     e.finish()
 }
@@ -311,6 +378,7 @@ fn decode_progress(
             min_ns: d.u64("min_ns").ok()?,
             max_ns: d.u64("max_ns").ok()?,
             work: d.u64("work").ok()?,
+            threads: usize::try_from(d.u64("threads").ok()?).ok()?,
         });
     }
     d.finish("trailing").ok()?;
@@ -362,15 +430,31 @@ pub fn run_suite(cfg: &SuiteConfig) -> Vec<BenchResult> {
     x2v_ckpt::set_resume(false);
     let start = results.len();
     for w in ws.iter_mut().skip(start) {
+        // Thread pin: serial workloads run the whole measurement under
+        // `with_threads(1)`; `threads == 0` leaves the ambient
+        // `X2V_THREADS` resolution in force and records what it was.
+        let effective_threads = if w.threads == 0 {
+            x2v_par::threads()
+        } else {
+            w.threads
+        };
+        let run = &mut w.run;
+        let mut run_pinned = || {
+            if w.threads == 0 {
+                run()
+            } else {
+                x2v_par::with_threads(w.threads, &mut *run)
+            }
+        };
         for _ in 0..cfg.warmup {
-            std::hint::black_box((w.run)());
+            std::hint::black_box(run_pinned());
         }
         let mut times_ns = Vec::with_capacity(reps);
         let mut work = 0u64;
         for rep in 0..reps {
             let _span = x2v_obs::span(w.name);
             let start = Instant::now();
-            let out = std::hint::black_box((w.run)());
+            let out = std::hint::black_box(run_pinned());
             let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
             times_ns.push(ns);
             x2v_obs::observe(w.name, ns as f64);
@@ -388,6 +472,20 @@ pub fn run_suite(cfg: &SuiteConfig) -> Vec<BenchResult> {
         let median_ns = median_u64(&times_ns);
         let mut dev: Vec<u64> = times_ns.iter().map(|&t| t.abs_diff(median_ns)).collect();
         dev.sort_unstable();
+        // Parallel twin: its checksum must match the serial baseline run
+        // earlier in the list, at whatever thread count we ran with.
+        if let Some(baseline) = w.baseline {
+            let base = results
+                .iter()
+                .find(|r| r.name == baseline)
+                .unwrap_or_else(|| panic!("workload {} lists unknown baseline {baseline}", w.name));
+            assert_eq!(
+                base.work, work,
+                "workload {} ({effective_threads} threads) diverges from its serial \
+                 baseline {baseline} — the parallel run changed the computation",
+                w.name
+            );
+        }
         results.push(BenchResult {
             name: w.name,
             reps,
@@ -397,6 +495,7 @@ pub fn run_suite(cfg: &SuiteConfig) -> Vec<BenchResult> {
             min_ns: times_ns[0],
             max_ns: times_ns[reps - 1],
             work,
+            threads: effective_threads,
         });
         if let Some(store) = store.as_deref() {
             if let Err(e) = store.save(
@@ -445,7 +544,7 @@ pub fn report_json(results: &[BenchResult], cfg: &SuiteConfig) -> String {
         };
         let _ = write!(
             out,
-            "\n    \"{}\": {{\"reps\": {}, \"median_ns\": {}, \"mad_ns\": {}, \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"work\": {}}}",
+            "\n    \"{}\": {{\"reps\": {}, \"median_ns\": {}, \"mad_ns\": {}, \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"work\": {}, \"threads\": {}}}",
             x2v_obs::json_escape(r.name),
             r.reps,
             r.median_ns,
@@ -454,6 +553,7 @@ pub fn report_json(results: &[BenchResult], cfg: &SuiteConfig) -> String {
             r.min_ns,
             r.max_ns,
             r.work,
+            r.threads,
         );
     }
     out.push_str(if first { "}\n" } else { "\n  }\n" });
@@ -813,6 +913,7 @@ mod tests {
                 min_ns: 1480,
                 max_ns: 1550,
                 work: 42,
+                threads: 1,
             },
             BenchResult {
                 name: "a/first",
@@ -823,6 +924,7 @@ mod tests {
                 min_ns: 890,
                 max_ns: 915,
                 work: 7,
+                threads: 1,
             },
         ];
         let json = report_json(&results, &SuiteConfig::smoke());
@@ -858,6 +960,7 @@ mod tests {
                 min_ns: 95,
                 max_ns: 110,
                 work: 7,
+                threads: 1,
             },
             BenchResult {
                 name: "b/y",
@@ -868,6 +971,7 @@ mod tests {
                 min_ns: 480,
                 max_ns: 520,
                 work: 13,
+                threads: 1,
             },
         ];
         let fp = suite_fingerprint(&SuiteConfig::smoke(), 3, &names);

@@ -9,14 +9,13 @@
 //! treats out-of-vocabulary structure).
 
 use crate::traits::GraphEmbedding;
-use std::cell::RefCell;
 use x2v_graph::Graph;
 use x2v_wl::features::WlFeatureVector;
 use x2v_wl::{Colour, Refiner};
 
 /// A densified WL subtree embedding with a fixed colour vocabulary.
 pub struct WlSubtreeEmbedding {
-    refiner: RefCell<Refiner>,
+    refiner: std::sync::Mutex<Refiner>,
     rounds: usize,
     /// Dense index per (round, colour).
     index: x2v_graph::hash::FxHashMap<(usize, Colour), usize>,
@@ -53,7 +52,7 @@ impl WlSubtreeEmbedding {
         }
         let round_weight = (0..=rounds).map(|i| w(i).sqrt()).collect();
         WlSubtreeEmbedding {
-            refiner: RefCell::new(refiner),
+            refiner: std::sync::Mutex::new(refiner),
             rounds,
             index,
             round_weight,
@@ -68,7 +67,7 @@ impl WlSubtreeEmbedding {
 
 impl GraphEmbedding for WlSubtreeEmbedding {
     fn embed(&self, g: &Graph) -> Vec<f64> {
-        let mut refiner = self.refiner.borrow_mut();
+        let mut refiner = self.refiner.lock().expect("wl-embed refiner lock");
         let f = WlFeatureVector::compute(&mut refiner, g, self.rounds);
         let mut out = vec![0.0; self.index.len()];
         for (i, hist) in f.rounds.iter().enumerate() {

@@ -54,7 +54,7 @@ pub struct FittedGraph2Vec {
     word_vectors: Vec<Vec<f64>>,
     /// (round, colour) → word id.
     word_index: x2v_graph::hash::FxHashMap<(usize, u64), usize>,
-    refiner: std::cell::RefCell<Refiner>,
+    refiner: std::sync::Mutex<Refiner>,
     config: Graph2VecConfig,
 }
 
@@ -116,7 +116,7 @@ impl FittedGraph2Vec {
             doc_vectors,
             word_vectors,
             word_index,
-            refiner: std::cell::RefCell::new(refiner),
+            refiner: std::sync::Mutex::new(refiner),
             config,
         }
     }
@@ -140,7 +140,7 @@ impl FittedGraph2Vec {
     /// fresh doc vector is trained on the graph's WL words. Words never
     /// seen in training are skipped (standard out-of-vocabulary handling).
     pub fn infer(&self, g: &Graph, seed: u64) -> Vec<f64> {
-        let mut refiner = self.refiner.borrow_mut();
+        let mut refiner = self.refiner.lock().expect("graph2vec refiner lock");
         let f = WlFeatureVector::compute(&mut refiner, g, self.config.depth);
         let mut bag = Vec::new();
         for (round, hist) in f.rounds.iter().enumerate() {

@@ -36,34 +36,52 @@ impl Default for WalkConfig {
     }
 }
 
+/// Chunk grain for parallel walk generation: walks per chunk before the
+/// plan's 64-chunk ceiling kicks in. Part of the determinism contract —
+/// changing it re-keys every chunk's RNG stream and shifts all corpora.
+const WALK_GRAIN: usize = 256;
+
 /// Generates the walk corpus: one sentence of node ids per walk. Nodes with
 /// no neighbours yield length-1 walks.
+///
+/// Walks are generated in parallel over the flat walk index space
+/// `w = rep·n + start` (rep-major, matching the corpus order). The index
+/// space is cut by a [`x2v_par::ChunkPlan`] keyed only by its size, and
+/// chunk `c` draws from the dedicated RNG stream
+/// `StdRng::seed_from_u64(seed).split_stream(c)` — so the corpus is
+/// bit-identical for every `X2V_THREADS`, including 1.
 pub fn generate_walks(g: &Graph, config: &WalkConfig) -> Vec<Vec<usize>> {
     let _timer = x2v_obs::span("embed/generate_walks");
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let base = StdRng::seed_from_u64(config.seed);
     let n = g.order();
-    let mut corpus = Vec::with_capacity(n * config.walks_per_node);
+    let total = n * config.walks_per_node;
     let uniform = (config.p - 1.0).abs() < 1e-12 && (config.q - 1.0).abs() < 1e-12;
-    for _ in 0..config.walks_per_node {
-        for start in 0..n {
-            let mut walk = Vec::with_capacity(config.walk_length);
-            walk.push(start);
-            while walk.len() < config.walk_length {
-                let cur = *walk.last().expect("non-empty walk");
-                let nbrs = g.neighbours(cur);
-                if nbrs.is_empty() {
-                    break;
+    let plan = x2v_par::ChunkPlan::new(total, WALK_GRAIN);
+    let chunks = x2v_par::map_chunks(&plan, |chunk, range| {
+        let mut rng = base.split_stream(chunk as u64);
+        range
+            .map(|w| {
+                let start = w % n;
+                let mut walk = Vec::with_capacity(config.walk_length);
+                walk.push(start);
+                while walk.len() < config.walk_length {
+                    let cur = *walk.last().expect("non-empty walk");
+                    let nbrs = g.neighbours(cur);
+                    if nbrs.is_empty() {
+                        break;
+                    }
+                    let next = if uniform || walk.len() < 2 {
+                        nbrs[rng.random_range(0..nbrs.len())]
+                    } else {
+                        biased_step(g, walk[walk.len() - 2], cur, config, &mut rng)
+                    };
+                    walk.push(next);
                 }
-                let next = if uniform || walk.len() < 2 {
-                    nbrs[rng.random_range(0..nbrs.len())]
-                } else {
-                    biased_step(g, walk[walk.len() - 2], cur, config, &mut rng)
-                };
-                walk.push(next);
-            }
-            corpus.push(walk);
-        }
-    }
+                walk
+            })
+            .collect::<Vec<Vec<usize>>>()
+    });
+    let corpus: Vec<Vec<usize>> = chunks.into_iter().flatten().collect();
     x2v_obs::counter_add(
         "embed/walk_steps",
         corpus.iter().map(|w| w.len() as u64).sum(),

@@ -58,6 +58,11 @@ pub const SITE: &str = "embed/word2vec";
 /// The checkpoint frame kind for SGNS epoch state.
 pub const CKPT_KIND: &str = "sgns-epoch";
 
+/// Sentences per shard before the chunk plan's 64-chunk ceiling kicks in.
+/// Part of the determinism contract: changing it re-keys every shard's RNG
+/// stream and snapshot boundary, shifting all trained models.
+const SENTENCE_GRAIN: usize = 32;
+
 /// Epoch-granular SGNS training state, exactly what must survive a crash
 /// for the resumed run to be bit-identical to an uninterrupted one: both
 /// embedding matrices, the SGD step counter (which drives learning-rate
@@ -174,10 +179,17 @@ impl Word2Vec {
         let mut output = vec![0.0f64; vocab * dim];
         let total_steps = (config.epochs * total_tokens).max(1);
         let mut step = 0usize;
-        let mut grad = vec![0.0f64; dim];
         // Negative-sample draws accumulate locally; the registry lock is
         // taken once at the end, not inside the SGD loop.
         let mut neg_draws = 0u64;
+        // Token-prefix sums per sentence: chunk `[a, b)` of sentences starts
+        // at global SGD step `step + prefix[a]`, so learning-rate decay is a
+        // pure function of the token's corpus position at any thread count.
+        let mut prefix = Vec::with_capacity(corpus.len() + 1);
+        prefix.push(0usize);
+        for sentence in corpus {
+            prefix.push(prefix.last().expect("non-empty prefix") + sentence.len());
+        }
 
         // Checkpoint/resume: with an ambient store installed and `--resume`
         // in effect, restore the newest valid epoch checkpoint for this job
@@ -254,56 +266,98 @@ impl Word2Vec {
                 (epoch + 1) as u64,
                 config.epochs as u64,
             );
-            for sentence in corpus {
-                for (pos, &centre) in sentence.iter().enumerate() {
-                    let lr =
-                        config.learning_rate * (1.0 - step as f64 / total_steps as f64).max(1e-4);
-                    step += 1;
-                    // Randomised effective window like the reference
-                    // implementation.
-                    let b = rng.random_range(0..config.window.max(1));
-                    let lo = pos.saturating_sub(config.window - b);
-                    let hi = (pos + config.window - b + 1).min(sentence.len());
-                    for ctx_pos in lo..hi {
-                        if ctx_pos == pos {
-                            continue;
-                        }
-                        let context = sentence[ctx_pos];
-                        grad.iter_mut().for_each(|g| *g = 0.0);
-                        let wrow = centre * dim;
-                        // Positive pair.
-                        {
-                            let crow = context * dim;
-                            let dot: f64 =
-                                (0..dim).map(|d| input[wrow + d] * output[crow + d]).sum();
-                            let g = (1.0 - sigmoid(dot)) * lr;
-                            for d in 0..dim {
-                                grad[d] += g * output[crow + d];
-                                output[crow + d] += g * input[wrow + d];
-                            }
-                        }
-                        // Negative pairs.
-                        for _ in 0..config.negative {
-                            neg_draws += 1;
-                            let neg = negatives.sample(&mut rng);
-                            if neg == context {
+            // Deterministic sharded epoch. The sentence range is cut by a
+            // ChunkPlan keyed only by corpus size; each chunk trains a
+            // private copy of both matrices from the epoch-start snapshot
+            // using its own split RNG stream, and returns the resulting
+            // parameter *delta*. Deltas are applied in chunk order, so the
+            // epoch result is a pure function of (snapshot, corpus, seed) —
+            // bit-identical at every `X2V_THREADS`, including 1. The master
+            // RNG long-jumps once per epoch (2^192 states), leaving the
+            // per-chunk jump streams (2^128 apart) collision-free, and its
+            // state at each epoch boundary remains the single value the
+            // checkpoint has to carry.
+            let epoch_base = rng.clone();
+            rng.long_jump();
+            let plan = x2v_par::ChunkPlan::new(corpus.len(), SENTENCE_GRAIN);
+            let shards = x2v_par::map_chunks(&plan, |chunk, range| {
+                let mut rng = epoch_base.split_stream(chunk as u64);
+                let mut local_in = input.clone();
+                let mut local_out = output.clone();
+                let mut grad = vec![0.0f64; dim];
+                let mut draws = 0u64;
+                let mut step = step + prefix[range.start];
+                for sentence in &corpus[range] {
+                    for (pos, &centre) in sentence.iter().enumerate() {
+                        let lr = config.learning_rate
+                            * (1.0 - step as f64 / total_steps as f64).max(1e-4);
+                        step += 1;
+                        // Randomised effective window like the reference
+                        // implementation.
+                        let b = rng.random_range(0..config.window.max(1));
+                        let lo = pos.saturating_sub(config.window - b);
+                        let hi = (pos + config.window - b + 1).min(sentence.len());
+                        for ctx_pos in lo..hi {
+                            if ctx_pos == pos {
                                 continue;
                             }
-                            let crow = neg * dim;
-                            let dot: f64 =
-                                (0..dim).map(|d| input[wrow + d] * output[crow + d]).sum();
-                            let g = -sigmoid(dot) * lr;
-                            for d in 0..dim {
-                                grad[d] += g * output[crow + d];
-                                output[crow + d] += g * input[wrow + d];
+                            let context = sentence[ctx_pos];
+                            grad.iter_mut().for_each(|g| *g = 0.0);
+                            let wrow = centre * dim;
+                            // Positive pair.
+                            {
+                                let crow = context * dim;
+                                let dot: f64 = (0..dim)
+                                    .map(|d| local_in[wrow + d] * local_out[crow + d])
+                                    .sum();
+                                let g = (1.0 - sigmoid(dot)) * lr;
+                                for d in 0..dim {
+                                    grad[d] += g * local_out[crow + d];
+                                    local_out[crow + d] += g * local_in[wrow + d];
+                                }
                             }
-                        }
-                        for d in 0..dim {
-                            input[wrow + d] += grad[d];
+                            // Negative pairs.
+                            for _ in 0..config.negative {
+                                draws += 1;
+                                let neg = negatives.sample(&mut rng);
+                                if neg == context {
+                                    continue;
+                                }
+                                let crow = neg * dim;
+                                let dot: f64 = (0..dim)
+                                    .map(|d| local_in[wrow + d] * local_out[crow + d])
+                                    .sum();
+                                let g = -sigmoid(dot) * lr;
+                                for d in 0..dim {
+                                    grad[d] += g * local_out[crow + d];
+                                    local_out[crow + d] += g * local_in[wrow + d];
+                                }
+                            }
+                            for d in 0..dim {
+                                local_in[wrow + d] += grad[d];
+                            }
                         }
                     }
                 }
+                // Reduce each matrix to its delta against the snapshot.
+                for (l, &s) in local_in.iter_mut().zip(input.iter()) {
+                    *l -= s;
+                }
+                for (l, &s) in local_out.iter_mut().zip(output.iter()) {
+                    *l -= s;
+                }
+                (local_in, local_out, draws)
+            });
+            for (delta_in, delta_out, draws) in shards {
+                for (x, d) in input.iter_mut().zip(&delta_in) {
+                    *x += d;
+                }
+                for (x, d) in output.iter_mut().zip(&delta_out) {
+                    *x += d;
+                }
+                neg_draws += draws;
             }
+            step += total_tokens;
             // Epoch boundary: persist the full training state. A budget
             // trip at the top of the next epoch then leaves this epoch's
             // work durable instead of discarding it.
@@ -471,7 +525,7 @@ mod tests {
         // With clean two-topic structure, "t0 : t1 :: t5 : ?" should answer
         // within topic B (tokens 5..10): the offset t1 − t0 is tiny
         // compared with the between-topic displacement.
-        let corpus = two_topic_corpus(4, 400);
+        let corpus = two_topic_corpus(8, 400);
         let cfg = SgnsConfig {
             dim: 16,
             epochs: 4,

@@ -109,6 +109,38 @@ impl Budget {
             .map(|d| d.saturating_duration_since(Instant::now()).as_millis() as u64)
     }
 
+    /// Polls the cancel token and the wall-clock deadline *without* any
+    /// work accounting or fault arming — safe to call from parallel worker
+    /// threads at arbitrary (thread-count-dependent) frequency, because it
+    /// never advances the per-site fault-injection call counts the way
+    /// [`Budget::meter`] does and never consumes work units.
+    ///
+    /// The work-unit limit is deliberately not checked here: exact work
+    /// accounting must stay deterministic, so it lives with the single
+    /// coordinator-side [`Meter`] that charges chunks in chunk order.
+    pub fn poll(&self, site: &'static str) -> Result<(), GuardError> {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                x2v_obs::counter_add("guard/cancelled", 1);
+                x2v_obs::mark("guard/cancelled");
+                return Err(GuardError::Cancelled { site, work_done: 0 });
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                x2v_obs::counter_add("guard/budget_exhausted", 1);
+                x2v_obs::mark("guard/budget_exhausted");
+                return Err(GuardError::BudgetExhausted {
+                    site,
+                    work_done: 0,
+                    work_limit: None,
+                    elapsed_ms: Some(self.started.elapsed().as_millis() as u64),
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Starts metering one guarded operation at `site`.
     ///
     /// Site names follow the obs convention (`"hom/brute"`, `"wl/kwl"`,

@@ -66,6 +66,18 @@ pub enum GuardError {
         /// What failed and on which path, phrased actionably.
         message: String,
     },
+    /// A worker thread of the parallel runtime panicked while executing a
+    /// chunk. The pool unwound cleanly — the remaining chunks were
+    /// abandoned, no partial result escaped, and the pool itself stays
+    /// usable — but the parallel call as a whole produced nothing.
+    WorkerPanic {
+        /// The guarded call site (e.g. `"par/worker"`).
+        site: &'static str,
+        /// Index of the chunk whose closure panicked.
+        chunk: usize,
+        /// The panic payload, rendered to a string where possible.
+        detail: String,
+    },
 }
 
 impl GuardError {
@@ -101,7 +113,8 @@ impl GuardError {
             | GuardError::NonConvergence { site, .. }
             | GuardError::InvalidInput { site, .. }
             | GuardError::NumericFailure { site, .. }
-            | GuardError::Storage { site, .. } => site,
+            | GuardError::Storage { site, .. }
+            | GuardError::WorkerPanic { site, .. } => site,
         }
     }
 
@@ -158,6 +171,12 @@ impl fmt::Display for GuardError {
             GuardError::Storage { site, message } => {
                 write!(f, "storage failure in {site}: {message}")
             }
+            GuardError::WorkerPanic { site, chunk, detail } => {
+                write!(
+                    f,
+                    "worker panic at {site} while executing chunk {chunk}: {detail}"
+                )
+            }
         }
     }
 }
@@ -173,4 +192,6 @@ pub const TRIAGE: &str = "\
   InvalidInput     fix the input named in the message; nothing was computed\n\
   NumericFailure   the input poisons floating point (NaN/inf) or overflows exact counts\n\
   Storage          an artifact write failed or a stored artifact is corrupt; check disk\n\
-                   space and the quarantine directory, then re-run (resume is safe)";
+                   space and the quarantine directory, then re-run (resume is safe)\n\
+  WorkerPanic      a parallel chunk closure panicked; the pool is fine — fix the bug the\n\
+                   panic message names (or the armed panic fault) and re-run";

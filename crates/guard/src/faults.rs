@@ -21,6 +21,12 @@
 //!   [`GuardError::Cancelled`](crate::GuardError::Cancelled);
 //! * `nan@site:N` — the N-th value passed through [`poison_f64`] at `site`
 //!   is replaced by NaN.
+//! * `panic@site:N` — the N-th query of [`panic_fault`] at `site` answers
+//!   `true`, telling the caller (the `x2v-par` worker loop at
+//!   `"par/worker"`) to panic deliberately — exercising the pool's
+//!   panic-containment path, which must surface
+//!   [`GuardError::WorkerPanic`](crate::GuardError::WorkerPanic) without
+//!   poisoning any global state.
 //!
 //! Store-level fault kinds target durable-artifact writers (queried via
 //! [`store_fault`], honoured by `x2v-ckpt`'s tagged atomic writer):
@@ -63,6 +69,7 @@ pub enum StoreFaultKind {
 enum Kind {
     Flow(FaultKind),
     Nan,
+    Panic,
     Store(StoreFaultKind),
 }
 
@@ -100,6 +107,7 @@ fn ensure_env_parsed() {
                         "budget" => Kind::Flow(FaultKind::Budget),
                         "cancel" => Kind::Flow(FaultKind::Cancel),
                         "nan" => Kind::Nan,
+                        "panic" => Kind::Panic,
                         "torn" => Kind::Store(StoreFaultKind::Torn),
                         "bitflip" => Kind::Store(StoreFaultKind::Bitflip),
                         "enospc" => Kind::Store(StoreFaultKind::Enospc),
@@ -148,6 +156,13 @@ pub fn inject_nan(site: &str, at: u64) {
 pub fn inject_store(kind: StoreFaultKind, site: &str, at: u64) {
     ensure_env_parsed();
     arm(Kind::Store(kind), site, at.max(1));
+}
+
+/// Programmatically arms a worker-panic fault: the `at`-th query of
+/// [`panic_fault`] at `site` (1-based) answers `true`.
+pub fn inject_panic(site: &str, at: u64) {
+    ensure_env_parsed();
+    arm(Kind::Panic, site, at.max(1));
 }
 
 /// Disarms every pending fault (armed by env or programmatically).
@@ -214,6 +229,32 @@ pub fn store_fault(site: &str) -> Option<StoreFaultKind> {
     None
 }
 
+/// Queried by a parallel worker before executing a chunk at `site`:
+/// counts this chunk against armed `panic` faults and returns `true` when
+/// one fires — the caller is then expected to panic deliberately, which
+/// the pool must contain and surface as a typed
+/// [`GuardError::WorkerPanic`](crate::GuardError::WorkerPanic). One
+/// relaxed atomic load when nothing is armed.
+pub fn panic_fault(site: &str) -> bool {
+    if !any_armed() {
+        return false;
+    }
+    let mut slots = SLOTS.lock().expect("fault slots lock");
+    for slot in slots.iter_mut() {
+        if slot.fired || slot.site != site || slot.kind != Kind::Panic {
+            continue;
+        }
+        slot.calls += 1;
+        if slot.calls == slot.at {
+            slot.fired = true;
+            x2v_obs::counter_add("guard/faults_injected", 1);
+            x2v_obs::mark("guard/fault_injected");
+            return true;
+        }
+    }
+    false
+}
+
 /// Passes `value` through the NaN-poisoning point at `site`: returns NaN
 /// when an armed `nan` fault fires, `value` otherwise. Numeric hot paths
 /// route their most failure-prone quantity (a normalisation denominator, an
@@ -261,6 +302,12 @@ mod tests {
         assert_eq!(poison_f64("test/nan", 1.5), 1.5);
         assert!(poison_f64("test/nan", 1.5).is_nan());
         assert_eq!(poison_f64("test/nan", 1.5), 1.5);
+
+        inject_panic("test/panic", 2);
+        assert!(!panic_fault("other/panic"));
+        assert!(!panic_fault("test/panic")); // query 1: not yet
+        assert!(panic_fault("test/panic")); // query 2
+        assert!(!panic_fault("test/panic")); // fired, stays off
 
         inject_store(StoreFaultKind::Torn, "test/store", 2);
         assert_eq!(store_fault("other/store"), None);

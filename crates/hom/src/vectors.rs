@@ -55,12 +55,23 @@ impl HomBasis {
     }
 
     /// The exact homomorphism vector `Hom_F(G)`.
+    ///
+    /// Patterns fan out over the parallel runtime (one chunk per pattern —
+    /// pattern costs vary wildly with treewidth, so work-stealing across
+    /// single-pattern chunks is the right granularity). Each pattern's
+    /// count meters the ambient [`x2v_guard::Budget`] through its own
+    /// per-operation meter, exactly as in a serial loop: work limits apply
+    /// per pattern and therefore trip identically at every thread count,
+    /// and a cooperative cancel is observed by every in-flight pattern's
+    /// meter.
     pub fn hom_vector(&self, g: &Graph) -> Vec<u128> {
-        self.patterns
-            .iter()
-            .zip(&self.decompositions)
-            .map(|(f, td)| crate::decomp::hom_count_with_decomposition(f, g, td))
-            .collect()
+        x2v_par::map_items(self.patterns.len(), 1, |i| {
+            crate::decomp::hom_count_with_decomposition(
+                &self.patterns[i],
+                g,
+                &self.decompositions[i],
+            )
+        })
     }
 
     /// The log-scaled embedding `(1/|F|) · log(1 + hom(F, G))` the paper
@@ -73,9 +84,11 @@ impl HomBasis {
             .collect()
     }
 
-    /// Embeds a whole dataset.
+    /// Embeds a whole dataset, fanning out one chunk per graph (the
+    /// per-graph [`HomBasis::hom_vector`] calls nest and run inline on the
+    /// worker).
     pub fn embed_dataset(&self, graphs: &[Graph]) -> Vec<Vec<f64>> {
-        graphs.iter().map(|g| self.embed_log(g)).collect()
+        x2v_par::map_items(graphs.len(), 1, |i| self.embed_log(&graphs[i]))
     }
 
     /// The kernel of eq. (4.1) over the finite basis:

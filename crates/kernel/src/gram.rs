@@ -43,17 +43,28 @@ fn gram_fingerprint(graphs: &[Graph]) -> u32 {
 /// [`GraphKernel::gram`]'s default, and `eval` is deterministic, so the
 /// resumed matrix is bit-identical to an uninterrupted build.
 ///
+/// Rows within a block are evaluated in parallel (`x2v-par`); the kernel
+/// must therefore be `Sync`. Determinism survives: the row set of each
+/// block is fixed by the checkpoint block boundaries, each row's entries
+/// are computed by a single worker in `j` order, and rows are written
+/// back in row order.
+///
 /// The ambient [`x2v_guard::Budget`] is metered one work unit per kernel
-/// evaluation at [`BUILD_SITE`]. A partial Gram matrix is unusable
-/// downstream (CV folds need every entry), so a budget trip surfaces as
-/// `Err` — but the completed row block is checkpointed first, so the work
-/// is durable and a re-run with a fresh budget resumes rather than
-/// recomputes.
+/// evaluation at [`BUILD_SITE`] — *pre-charged row by row on the
+/// coordinator, in row order, before the block is dispatched*, so a
+/// work-limit trip cuts the build at the same row on every run and at
+/// every thread count. Workers poll the budget's deadline/cancel between
+/// rows ([`x2v_guard::Budget::poll`]), which costs no work units. A
+/// partial Gram matrix is unusable downstream (CV folds need every
+/// entry), so a budget trip surfaces as `Err` — but the completed rows
+/// are checkpointed first, so the work is durable and a re-run with a
+/// fresh budget resumes rather than recomputes.
 ///
 /// # Errors
 /// [`GuardError::BudgetExhausted`] / [`GuardError::Cancelled`] from the
-/// ambient budget.
-pub fn gram_resumable<K: GraphKernel + ?Sized>(
+/// ambient budget; [`GuardError::WorkerPanic`] if a parallel row
+/// evaluation panics.
+pub fn gram_resumable<K: GraphKernel + Sync + ?Sized>(
     kernel: &K,
     graphs: &[Graph],
     job: &str,
@@ -102,25 +113,67 @@ pub fn gram_resumable<K: GraphKernel + ?Sized>(
 
     let budget = x2v_guard::ambient();
     let mut meter = budget.meter(BUILD_SITE);
-    for i in start_row..n {
-        for j in i..n {
-            if let Err(e) = meter.tick(1) {
-                // Durable degradation: the rows completed before the trip
-                // are persisted, so a re-run resumes instead of recomputing.
+    let mut block_start = start_row;
+    while block_start < n {
+        // Blocks end on global ROW_BLOCK multiples so checkpoint points
+        // don't depend on where a resume happened to restart.
+        let block_end = ((block_start / ROW_BLOCK + 1) * ROW_BLOCK).min(n);
+        // Pre-charge each row's evaluations in row order on the
+        // coordinator: a work-limit trip therefore cuts at a row index
+        // that is a pure function of the budget and the input — never of
+        // the thread count.
+        let mut cut = block_end;
+        let mut trip = None;
+        for i in block_start..block_end {
+            if let Err(e) = meter.tick((n - i) as u64) {
+                cut = i;
+                trip = Some(e);
+                break;
+            }
+        }
+        // Evaluate the charged rows in parallel; workers poll the
+        // deadline/cancel between rows without touching work accounting.
+        let outcome = x2v_par::try_map_items(cut - block_start, 1, |off| {
+            let i = block_start + off;
+            budget.poll(BUILD_SITE)?;
+            Ok((i..n)
+                .map(|j| kernel.eval(&graphs[i], &graphs[j]))
+                .collect::<Vec<f64>>())
+        });
+        match outcome {
+            Ok(rows) => {
+                for (off, row) in rows.into_iter().enumerate() {
+                    let i = block_start + off;
+                    for (jo, v) in row.into_iter().enumerate() {
+                        let j = i + jo;
+                        m[(i, j)] = v;
+                        m[(j, i)] = v;
+                    }
+                }
+            }
+            Err(e) => {
+                // A worker saw the cancel/deadline fire (or panicked):
+                // persist the prefix completed in earlier blocks.
                 if let Some(store) = store.as_deref() {
-                    save_rows(store, &m, i);
+                    save_rows(store, &m, block_start);
                 }
                 return Err(e);
             }
-            let v = kernel.eval(&graphs[i], &graphs[j]);
-            m[(i, j)] = v;
-            m[(j, i)] = v;
         }
-        if (i + 1) % ROW_BLOCK == 0 && i + 1 < n {
+        if let Some(e) = trip {
+            // Durable degradation: the rows completed before the trip are
+            // persisted, so a re-run resumes instead of recomputing.
             if let Some(store) = store.as_deref() {
-                save_rows(store, &m, i + 1);
+                save_rows(store, &m, cut);
+            }
+            return Err(e);
+        }
+        if block_end < n {
+            if let Some(store) = store.as_deref() {
+                save_rows(store, &m, block_end);
             }
         }
+        block_start = block_end;
     }
     // The build is complete; its checkpoints are spent (best-effort —
     // a stale checkpoint would anyway re-verify against the fingerprint).

@@ -1,6 +1,5 @@
 //! The Weisfeiler-Leman subtree kernel (Section 3.5, [94]).
 
-use std::cell::RefCell;
 use x2v_core::GraphKernel;
 use x2v_graph::Graph;
 use x2v_linalg::Matrix;
@@ -11,9 +10,13 @@ use x2v_wl::Refiner;
 /// `K^{(t)}_WL(G, H) = Σ_{i≤t} Σ_c wl(c,G) · wl(c,H)`.
 ///
 /// The paper reports `t = 5` as the sweet spot in practice; that is the
-/// default. One interner is shared across all evaluations so colours align.
+/// default. The kernel is stateless (and therefore `Sync`, so Gram rows
+/// can be evaluated from parallel workers): each evaluation refines
+/// through a fresh interner. Kernel *values* don't depend on interner
+/// identity — a feature dot product compares signature multisets, which
+/// are intrinsic to the graphs — so this is value-identical to sharing
+/// one interner across evaluations, just without the shared mutable state.
 pub struct WlSubtreeKernel {
-    refiner: RefCell<Refiner>,
     rounds: usize,
     discounted: bool,
 }
@@ -22,7 +25,6 @@ impl WlSubtreeKernel {
     /// The t-round kernel.
     pub fn new(rounds: usize) -> Self {
         WlSubtreeKernel {
-            refiner: RefCell::new(Refiner::new()),
             rounds,
             discounted: false,
         }
@@ -37,43 +39,49 @@ impl WlSubtreeKernel {
     /// `rounds` (the infinite series' tail vanishes geometrically).
     pub fn discounted(rounds: usize) -> Self {
         WlSubtreeKernel {
-            refiner: RefCell::new(Refiner::new()),
             rounds,
             discounted: true,
         }
     }
 
-    fn features(&self, g: &Graph) -> WlFeatureVector {
-        let mut r = self.refiner.borrow_mut();
-        WlFeatureVector::compute(&mut r, g, self.rounds)
+    fn dot(&self, a: &WlFeatureVector, b: &WlFeatureVector) -> f64 {
+        if self.discounted {
+            a.discounted_dot(b)
+        } else {
+            a.dot(b)
+        }
     }
 }
 
 impl GraphKernel for WlSubtreeKernel {
     fn eval(&self, g: &Graph, h: &Graph) -> f64 {
-        let fg = self.features(g);
-        let fh = self.features(h);
-        if self.discounted {
-            fg.discounted_dot(&fh)
-        } else {
-            fg.dot(&fh)
-        }
+        let mut r = Refiner::new();
+        let fg = WlFeatureVector::compute(&mut r, g, self.rounds);
+        let fh = WlFeatureVector::compute(&mut r, h, self.rounds);
+        self.dot(&fg, &fh)
     }
 
     fn gram(&self, graphs: &[Graph]) -> Matrix {
         let _timer = x2v_obs::span("kernel/gram");
-        // Batch path: compute every feature vector once.
-        let feats: Vec<WlFeatureVector> = graphs.iter().map(|g| self.features(g)).collect();
+        // Batch path: compute every feature vector once through one shared
+        // interner (serial — the interner is the shared mutable state),
+        // then fan the O(n²) dot products out over parallel row chunks.
+        let mut refiner = Refiner::new();
+        let feats: Vec<WlFeatureVector> = graphs
+            .iter()
+            .map(|g| WlFeatureVector::compute(&mut refiner, g, self.rounds))
+            .collect();
         let n = graphs.len();
         x2v_obs::counter_add("kernel/gram_entries", (n * n) as u64);
+        let rows = x2v_par::map_items(n, 1, |i| {
+            (i..n)
+                .map(|j| self.dot(&feats[i], &feats[j]))
+                .collect::<Vec<f64>>()
+        });
         let mut m = Matrix::zeros(n, n);
-        for i in 0..n {
-            for j in i..n {
-                let v = if self.discounted {
-                    feats[i].discounted_dot(&feats[j])
-                } else {
-                    feats[i].dot(&feats[j])
-                };
+        for (i, row) in rows.into_iter().enumerate() {
+            for (off, v) in row.into_iter().enumerate() {
+                let j = i + off;
                 m[(i, j)] = v;
                 m[(j, i)] = v;
             }
@@ -131,5 +139,11 @@ mod tests {
         let a = k.eval(&c6, &tt);
         let b = k.eval(&c6, &c6);
         assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kernel_is_sync_for_parallel_gram_rows() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<WlSubtreeKernel>();
     }
 }

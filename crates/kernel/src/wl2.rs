@@ -8,7 +8,6 @@
 //! sees cycle structure that leaves 1-WL blind on regular graphs — at
 //! `O(n³)`-per-round cost.
 
-use std::cell::RefCell;
 use x2v_core::GraphKernel;
 use x2v_graph::hash::FxHashMap;
 use x2v_graph::Graph;
@@ -16,8 +15,14 @@ use x2v_linalg::Matrix;
 use x2v_wl::kwl::KwlRefiner;
 
 /// The 2-WL tuple-colour kernel.
+///
+/// Stateless (and `Sync`, so Gram rows can be evaluated in parallel):
+/// each evaluation runs both graphs through one fresh tuple-colour
+/// interner. Colour *ids* are only ever compared between histograms
+/// produced by the same interner, and equal tuple structures receive
+/// equal ids in any interner, so the kernel values match the former
+/// shared-interner implementation bit for bit.
 pub struct Wl2Kernel {
-    refiner: RefCell<KwlRefiner>,
     /// Number of refinement rounds after the atomic initialisation.
     pub rounds: usize,
 }
@@ -27,48 +32,44 @@ impl Wl2Kernel {
     /// for small graphs; colours are compared across graphs, so a fixed
     /// round count keeps the feature space aligned).
     pub fn new(rounds: usize) -> Self {
-        Wl2Kernel {
-            refiner: RefCell::new(KwlRefiner::new(2)),
-            rounds,
-        }
+        Wl2Kernel { rounds }
     }
+}
 
-    fn histogram(&self, g: &Graph) -> FxHashMap<u64, u64> {
-        let mut r = self.refiner.borrow_mut();
-        r.run_rounds(g, self.rounds).histogram()
-    }
+fn hist_dot(a: &FxHashMap<u64, u64>, b: &FxHashMap<u64, u64>) -> f64 {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    small
+        .iter()
+        .filter_map(|(c, &x)| large.get(c).map(|&y| x as f64 * y as f64))
+        .sum()
 }
 
 impl GraphKernel for Wl2Kernel {
     fn eval(&self, g: &Graph, h: &Graph) -> f64 {
-        let a = self.histogram(g);
-        let b = self.histogram(h);
-        let (small, large) = if a.len() <= b.len() {
-            (&a, &b)
-        } else {
-            (&b, &a)
-        };
-        small
-            .iter()
-            .filter_map(|(c, &x)| large.get(c).map(|&y| x as f64 * y as f64))
-            .sum()
+        let mut r = KwlRefiner::new(2);
+        let a = r.run_rounds(g, self.rounds).histogram();
+        let b = r.run_rounds(h, self.rounds).histogram();
+        hist_dot(&a, &b)
     }
 
     fn gram(&self, graphs: &[Graph]) -> Matrix {
-        let hists: Vec<FxHashMap<u64, u64>> = graphs.iter().map(|g| self.histogram(g)).collect();
+        // One shared interner for the whole batch (serial), parallel dot
+        // products over the aligned histograms.
+        let mut r = KwlRefiner::new(2);
+        let hists: Vec<FxHashMap<u64, u64>> = graphs
+            .iter()
+            .map(|g| r.run_rounds(g, self.rounds).histogram())
+            .collect();
         let n = graphs.len();
+        let rows = x2v_par::map_items(n, 1, |i| {
+            (i..n)
+                .map(|j| hist_dot(&hists[i], &hists[j]))
+                .collect::<Vec<f64>>()
+        });
         let mut m = Matrix::zeros(n, n);
-        for i in 0..n {
-            for j in i..n {
-                let (small, large) = if hists[i].len() <= hists[j].len() {
-                    (&hists[i], &hists[j])
-                } else {
-                    (&hists[j], &hists[i])
-                };
-                let v: f64 = small
-                    .iter()
-                    .filter_map(|(c, &x)| large.get(c).map(|&y| x as f64 * y as f64))
-                    .sum();
+        for (i, row) in rows.into_iter().enumerate() {
+            for (off, v) in row.into_iter().enumerate() {
+                let j = i + off;
                 m[(i, j)] = v;
                 m[(j, i)] = v;
             }

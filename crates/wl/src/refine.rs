@@ -106,19 +106,28 @@ impl Refiner {
             .collect()
     }
 
+    /// Minimum nodes per parallel chunk of signature building: small
+    /// graphs stay on the inline path where per-node work cannot amortise
+    /// a pool handoff. Part of the chunk plan, so it must stay a constant
+    /// (never derived from the thread count).
+    const SIG_GRAIN: usize = 512;
+
     fn refine_once(&mut self, g: &Graph, prev: &[Colour]) -> Vec<Colour> {
         x2v_obs::counter_add("wl/refine_rounds_total", 1);
-        let mut sig = Vec::new();
-        (0..g.order())
-            .map(|v| {
-                sig.clear();
-                sig.push(TAG_UNDIRECTED);
-                sig.push(prev[v]);
-                let start = sig.len();
-                sig.extend(g.neighbours(v).iter().map(|&w| prev[w]));
-                sig[start..].sort_unstable();
-                self.interner.intern(sig.clone())
-            })
+        // Signature building reads only the graph and the previous
+        // colouring, so it fans out; interning mutates the shared colour
+        // universe and stays serial *in node order*, which keeps colour
+        // ids identical to a fully serial refinement.
+        let sigs = x2v_par::map_items(g.order(), Self::SIG_GRAIN, |v| {
+            let mut sig = Vec::with_capacity(2 + g.neighbours(v).len());
+            sig.push(TAG_UNDIRECTED);
+            sig.push(prev[v]);
+            sig.extend(g.neighbours(v).iter().map(|&w| prev[w]));
+            sig[2..].sort_unstable();
+            sig
+        });
+        sigs.into_iter()
+            .map(|sig| self.interner.intern(sig))
             .collect()
     }
 
@@ -220,30 +229,32 @@ impl Refiner {
     /// colour (Section 3.2).
     pub fn refine_edge_labelled<F>(&mut self, g: &Graph, edge_label: F, rounds: usize) -> WlHistory
     where
-        F: Fn(usize, usize) -> u32,
+        F: Fn(usize, usize) -> u32 + Sync,
     {
         let mut history = vec![self.initial_colours(g.labels())];
         let mut stable_round = None;
         let mut prev_classes = count_distinct(&history[0]);
         for t in 0..rounds {
             let prev = &history[t];
-            let next: Vec<Colour> = (0..g.order())
-                .map(|v| {
-                    let mut pairs: Vec<(u64, u64)> = g
-                        .neighbours(v)
-                        .iter()
-                        .map(|&w| (edge_label(v, w) as u64, prev[w]))
-                        .collect();
-                    pairs.sort_unstable();
-                    let mut sig = Vec::with_capacity(2 + 2 * pairs.len());
-                    sig.push(TAG_EDGE_LABELLED);
-                    sig.push(prev[v]);
-                    for (l, c) in pairs {
-                        sig.push(l);
-                        sig.push(c);
-                    }
-                    self.interner.intern(sig)
-                })
+            let sigs = x2v_par::map_items(g.order(), Self::SIG_GRAIN, |v| {
+                let mut pairs: Vec<(u64, u64)> = g
+                    .neighbours(v)
+                    .iter()
+                    .map(|&w| (edge_label(v, w) as u64, prev[w]))
+                    .collect();
+                pairs.sort_unstable();
+                let mut sig = Vec::with_capacity(2 + 2 * pairs.len());
+                sig.push(TAG_EDGE_LABELLED);
+                sig.push(prev[v]);
+                for (l, c) in pairs {
+                    sig.push(l);
+                    sig.push(c);
+                }
+                sig
+            });
+            let next: Vec<Colour> = sigs
+                .into_iter()
+                .map(|sig| self.interner.intern(sig))
                 .collect();
             let classes = count_distinct(&next);
             if stable_round.is_none() && classes == prev_classes {
@@ -266,23 +277,23 @@ impl Refiner {
         let mut prev_classes = count_distinct(&history[0]);
         for t in 0..rounds {
             let prev = &history[t];
-            let next: Vec<Colour> = (0..d.order())
-                .map(|v| {
-                    let mut inn: Vec<Colour> =
-                        d.in_neighbours(v).iter().map(|&w| prev[w]).collect();
-                    let mut out: Vec<Colour> =
-                        d.out_neighbours(v).iter().map(|&w| prev[w]).collect();
-                    inn.sort_unstable();
-                    out.sort_unstable();
-                    let mut sig = Vec::with_capacity(4 + inn.len() + out.len());
-                    sig.push(TAG_DIRECTED);
-                    sig.push(prev[v]);
-                    sig.push(SEP);
-                    sig.extend_from_slice(&inn);
-                    sig.push(SEP);
-                    sig.extend_from_slice(&out);
-                    self.interner.intern(sig)
-                })
+            let sigs = x2v_par::map_items(d.order(), Self::SIG_GRAIN, |v| {
+                let mut inn: Vec<Colour> = d.in_neighbours(v).iter().map(|&w| prev[w]).collect();
+                let mut out: Vec<Colour> = d.out_neighbours(v).iter().map(|&w| prev[w]).collect();
+                inn.sort_unstable();
+                out.sort_unstable();
+                let mut sig = Vec::with_capacity(4 + inn.len() + out.len());
+                sig.push(TAG_DIRECTED);
+                sig.push(prev[v]);
+                sig.push(SEP);
+                sig.extend_from_slice(&inn);
+                sig.push(SEP);
+                sig.extend_from_slice(&out);
+                sig
+            });
+            let next: Vec<Colour> = sigs
+                .into_iter()
+                .map(|sig| self.interner.intern(sig))
                 .collect();
             let classes = count_distinct(&next);
             if stable_round.is_none() && classes == prev_classes {

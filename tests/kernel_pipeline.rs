@@ -32,7 +32,7 @@ fn mixed_graphs() -> Vec<x2vec_suite::graph::Graph> {
 #[test]
 fn all_kernels_psd_on_mixed_set() {
     let graphs = mixed_graphs();
-    let kernels: Vec<(&str, Box<dyn GraphKernel>)> = vec![
+    let kernels: Vec<(&str, Box<dyn GraphKernel + Sync>)> = vec![
         ("wl", Box::new(WlSubtreeKernel::new(4))),
         ("wl-disc", Box::new(WlSubtreeKernel::discounted(4))),
         ("sp", Box::new(ShortestPathKernel::new())),

@@ -264,7 +264,77 @@ pub mod rngs {
             );
             StdRng { s }
         }
+
+        /// Applies a xoshiro256 jump polynomial: XORs together the states
+        /// reached at every step whose bit is set in `poly`, which advances
+        /// the generator by a fixed power of two of steps (the state map is
+        /// linear over GF(2), so the XOR of selected orbit states equals
+        /// the state after that many steps).
+        fn apply_jump_poly(&mut self, poly: [u64; 4]) {
+            let mut acc = [0u64; 4];
+            for word in poly {
+                for bit in 0..64 {
+                    if word & (1u64 << bit) != 0 {
+                        for (a, s) in acc.iter_mut().zip(self.s) {
+                            *a ^= s;
+                        }
+                    }
+                    self.next_u64();
+                }
+            }
+            self.s = acc;
+        }
+
+        /// Advances this generator by 2¹²⁸ steps (the xoshiro256 `jump()`
+        /// function). Calling `jump` k times from a common base yields
+        /// non-overlapping substreams of 2¹²⁸ draws each — the canonical
+        /// way to hand each parallel chunk its own stream.
+        pub fn jump(&mut self) {
+            self.apply_jump_poly(JUMP);
+        }
+
+        /// Advances this generator by 2¹⁹² steps (the xoshiro256
+        /// `long_jump()` function): 2⁶⁴ whole [`jump`](StdRng::jump)-sized
+        /// substreams, for spacing out top-level streams (e.g. one per
+        /// training epoch) that themselves get split with `jump`.
+        pub fn long_jump(&mut self) {
+            self.apply_jump_poly(LONG_JUMP);
+        }
+
+        /// The canonical per-chunk stream derivation: substream `chunk` of
+        /// this generator, i.e. a clone advanced by `(chunk + 1)` jumps of
+        /// 2¹²⁸ steps. Substreams of distinct indices never overlap (within
+        /// 2¹²⁸ draws), are disjoint from the base stream's next 2¹²⁸
+        /// draws, and depend only on the base state and the index — never
+        /// on how many worker threads consume them. Every parallel call
+        /// site MUST derive chunk streams through this method rather than
+        /// hand-rolling seed arithmetic.
+        pub fn split_stream(&self, chunk: u64) -> Self {
+            let mut sub = self.clone();
+            for _ in 0..=chunk {
+                sub.jump();
+            }
+            sub
+        }
     }
+
+    /// `jump()` polynomial for xoshiro256 (Blackman–Vigna reference
+    /// constants): the GF(2) characteristic polynomial of advancing 2¹²⁸
+    /// steps, packed little-endian.
+    const JUMP: [u64; 4] = [
+        0x180e_c6d3_3cfd_0aba,
+        0xd5a6_1266_f0c9_392c,
+        0xa958_2618_e03f_c9aa,
+        0x39ab_dc45_29b1_661c,
+    ];
+
+    /// `long_jump()` polynomial: advance by 2¹⁹² steps.
+    const LONG_JUMP: [u64; 4] = [
+        0x76e1_5d3e_fefd_cbbf,
+        0xc500_4e44_1c52_2fb3,
+        0x7771_0069_854e_e241,
+        0x3910_9bb0_2acb_e635,
+    ];
 
     impl SeedableRng for StdRng {
         type Seed = [u8; 32];
@@ -363,5 +433,128 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let hits = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
         assert!((2200..2800).contains(&hits), "hits {hits}");
+    }
+
+    // ---- jump / long_jump reference tests ------------------------------
+    //
+    // The xoshiro256 state map is linear over GF(2), so "advance by 2^128
+    // steps" is exactly "multiply the 256-bit state vector by T^(2^128)",
+    // where T is the one-step 256×256 transition matrix. We compute that
+    // matrix power independently (repeated squaring, 128 resp. 192
+    // squarings) and use it as the reference the jump polynomials must
+    // reproduce.
+
+    /// One raw xoshiro256++ state transition (the `next_u64` update,
+    /// without the output function), valid for any state including zero.
+    fn step(mut s: [u64; 4]) -> [u64; 4] {
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        s
+    }
+
+    /// 256×256 GF(2) matrix, stored column-major as 256-bit vectors.
+    type Mat = Vec<[u64; 4]>;
+
+    fn basis(i: usize) -> [u64; 4] {
+        let mut v = [0u64; 4];
+        v[i / 64] = 1u64 << (i % 64);
+        v
+    }
+
+    /// `m · v` over GF(2): XOR of the columns selected by `v`'s set bits.
+    fn apply(m: &Mat, v: [u64; 4]) -> [u64; 4] {
+        let mut out = [0u64; 4];
+        for (i, col) in m.iter().enumerate() {
+            if v[i / 64] & (1u64 << (i % 64)) != 0 {
+                for (o, c) in out.iter_mut().zip(col) {
+                    *o ^= c;
+                }
+            }
+        }
+        out
+    }
+
+    fn mat_mul(a: &Mat, b: &Mat) -> Mat {
+        b.iter().map(|&col| apply(a, col)).collect()
+    }
+
+    #[test]
+    fn jump_polynomials_match_transition_matrix_powers() {
+        // T: column i is the image of basis vector e_i under one step.
+        let mut m: Mat = (0..256).map(|i| step(basis(i))).collect();
+        let states: Vec<[u64; 4]> = vec![
+            StdRng::seed_from_u64(0).state(),
+            StdRng::seed_from_u64(42).state(),
+            [1, 2, 3, 4],
+        ];
+        // 128 squarings: T^(2^128) — the reference for jump().
+        for _ in 0..128 {
+            m = mat_mul(&m, &m);
+        }
+        for &s in &states {
+            let mut rng = StdRng::from_state(s);
+            rng.jump();
+            assert_eq!(
+                rng.state(),
+                apply(&m, s),
+                "jump() must advance state {s:?} by exactly 2^128 steps"
+            );
+        }
+        // 64 more squarings: T^(2^192) — the reference for long_jump().
+        for _ in 0..64 {
+            m = mat_mul(&m, &m);
+        }
+        for &s in &states {
+            let mut rng = StdRng::from_state(s);
+            rng.long_jump();
+            assert_eq!(
+                rng.state(),
+                apply(&m, s),
+                "long_jump() must advance state {s:?} by exactly 2^192 steps"
+            );
+        }
+    }
+
+    #[test]
+    fn jump_commutes_with_stepping() {
+        // Both orders land on the same state: jump is a pure power of the
+        // transition map, so it commutes with it.
+        let mut a = StdRng::seed_from_u64(5);
+        a.next_u64();
+        a.jump();
+        let mut b = StdRng::seed_from_u64(5);
+        b.jump();
+        b.next_u64();
+        assert_eq!(a.state(), b.state());
+    }
+
+    #[test]
+    fn split_streams_are_deterministic_and_disjoint() {
+        let base = StdRng::seed_from_u64(123);
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(base.state());
+        for chunk in 0..16u64 {
+            let s = base.split_stream(chunk);
+            assert_eq!(
+                s.state(),
+                base.split_stream(chunk).state(),
+                "split_stream must be a pure function of (base, chunk)"
+            );
+            assert!(
+                seen.insert(s.state()),
+                "substream {chunk} collides with an earlier stream"
+            );
+            // Draws from a substream never perturb the base.
+            let mut probe = s.clone();
+            for _ in 0..10 {
+                probe.next_u64();
+            }
+            assert_eq!(base.state(), StdRng::seed_from_u64(123).state());
+        }
     }
 }
