@@ -14,7 +14,7 @@
 //! pass `--budget-ms N` to bound the whole binary via the ambient budget.
 
 use std::time::Instant;
-use x2v_bench::harness::{print_header, print_row};
+use x2v_bench::harness::{guarded_main, print_header, print_row};
 use x2v_graph::generators::{complete, grid, petersen};
 use x2v_graph::ops::disjoint_union;
 use x2v_guard::{Budget, CancelToken, GuardError, TRIAGE};
@@ -24,7 +24,11 @@ use x2v_kernel::svm::{KernelSvm, SvmConfig};
 use x2v_linalg::Matrix;
 
 fn main() {
-    let _obs = x2v_bench::ObsRun::new("exp_guard_budgets");
+    // Exits through the standardized typed exit codes (TRIAGE table).
+    guarded_main("exp_guard_budgets", run);
+}
+
+fn run() -> Result<(), GuardError> {
     println!("E26 — budgets, cancellation, and graceful degradation\n");
     const W: &[usize] = &[32, 100];
     print_header(&["scenario", "outcome"], W);
@@ -141,4 +145,5 @@ fn main() {
     }
 
     println!("\ntriage guide:\n{TRIAGE}");
+    Ok(())
 }

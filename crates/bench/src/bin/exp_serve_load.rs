@@ -1,0 +1,278 @@
+//! E27 — the x2v-serve daemon under synthetic load.
+//!
+//! Publishes a deterministic synthetic embedding artifact to a checkpoint
+//! store, starts the daemon in-process on a loopback port, and drives it
+//! with concurrent clients that retry retryable responses (429/503/408)
+//! through the deterministic jittered backoff in `x2v_guard::retry`.
+//! Reports client-observed latency percentiles plus the server's shed /
+//! retry / degradation counters.
+//!
+//! Knobs: `--clients N` (default 4), `--requests N` per client (default
+//! 50), `--dim D` (default 16), `--vectors N` (default 400), plus
+//! `--workers N` / `--queue N` to squeeze the daemon until it sheds
+//! (CI's shedding leg runs `--workers 1 --queue 1`). Fault drills:
+//! run with `X2V_FAULTS=conndrop@serve/read` (etc.) to watch the retry
+//! machinery absorb injected failures; the CI `serve-smoke` job does
+//! exactly that. `X2V_OBS=json` lands everything in the run report.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use x2v_bench::harness::{guarded_main, print_header, print_row};
+use x2v_ckpt::Store;
+use x2v_guard::retry::Backoff;
+use x2v_guard::GuardError;
+use x2v_obs::keys;
+use x2v_serve::{publish, Config, EmbeddingSet, Server};
+
+const SEED: u64 = 0x5e12_7e10ad;
+const JOB: &str = "serve-load";
+
+fn main() {
+    guarded_main("exp_serve_load", run);
+}
+
+fn run() -> Result<(), GuardError> {
+    let a = args();
+    let (clients, requests, dim, vectors) = (a.clients, a.requests, a.dim, a.vectors);
+    println!("E27 — embedding serving under load\n");
+
+    // A deterministic artifact: unit-ish random vectors named v0..vN-1.
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let rows: Vec<(String, Vec<f64>)> = (0..vectors)
+        .map(|i| {
+            let v: Vec<f64> = (0..dim).map(|_| rng.random::<f64>() * 2.0 - 1.0).collect();
+            (format!("v{i}"), v)
+        })
+        .collect();
+    let set = EmbeddingSet::new(rows)?;
+
+    let root = std::env::temp_dir().join(format!("x2v-serve-load-{}", std::process::id()));
+    let store = Store::open(&root)?;
+    let generation = publish(&store, JOB, &set)?;
+    println!(
+        "published {vectors}x{dim} artifact as generation {generation} under {}",
+        root.display()
+    );
+
+    let config = Config {
+        workers: a.workers,
+        queue_depth: a.queue,
+        io_timeout_ms: 500,
+        job: JOB.to_string(),
+        ..Config::from_env()
+    };
+    let server = Server::start(config, store)?;
+    let addr = server.addr();
+    println!("daemon listening on {addr}\n");
+
+    // Concurrent clients, each with its own deterministic backoff stream.
+    let handles: Vec<_> = (0..clients)
+        .map(|c| std::thread::spawn(move || client(addr, c as u64, requests, vectors)))
+        .collect();
+    let mut stats = ClientStats::default();
+    for h in handles {
+        let s = h.join().expect("client thread");
+        stats.merge(s);
+    }
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+
+    stats.latencies_ms.sort_by(f64::total_cmp);
+    let pick = |q: f64| -> f64 {
+        if stats.latencies_ms.is_empty() {
+            return 0.0;
+        }
+        let idx = ((stats.latencies_ms.len() as f64 - 1.0) * q).round() as usize;
+        stats.latencies_ms[idx]
+    };
+
+    const W: &[usize] = &[28, 24];
+    print_header(&["metric", "value"], W);
+    let rows: Vec<(&str, String)> = vec![
+        ("clients x requests", format!("{clients} x {requests}")),
+        ("ok responses", stats.ok.to_string()),
+        ("retried (429/503/408)", stats.retried.to_string()),
+        ("gave up after retries", stats.exhausted.to_string()),
+        ("other errors", stats.failed.to_string()),
+        ("client p50 latency", format!("{:.2} ms", pick(0.50))),
+        ("client p99 latency", format!("{:.2} ms", pick(0.99))),
+    ];
+    for (k, v) in rows {
+        print_row(&[k.to_string(), v.to_string()], W);
+    }
+
+    // Server-side counters (live whenever X2V_OBS is on).
+    let (_, counters, _) = x2v_obs::global().snapshot();
+    let server_keys = [
+        keys::SERVE_REQUESTS,
+        keys::SERVE_SHED,
+        keys::SERVE_STALE,
+        keys::SERVE_ERRORS,
+        keys::SERVE_DEADLINE_TRIPS,
+        keys::SERVE_CONN_DROPPED,
+        "guard/retries",
+        "guard/faults_injected",
+    ];
+    println!();
+    print_header(&["server counter", "value"], W);
+    for key in server_keys {
+        let v = counters
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| *v)
+            .unwrap_or(0);
+        print_row(&[key.to_string(), v.to_string()], W);
+    }
+    if !x2v_obs::enabled() {
+        println!("\n(set X2V_OBS=table,json for live counters and the run report)");
+    }
+
+    if stats.ok == 0 {
+        return Err(GuardError::storage(
+            "serve/load",
+            "no request ever succeeded",
+        ));
+    }
+    Ok(())
+}
+
+/// Per-client (then merged) outcome tally.
+#[derive(Default)]
+struct ClientStats {
+    ok: u64,
+    retried: u64,
+    exhausted: u64,
+    failed: u64,
+    latencies_ms: Vec<f64>,
+}
+
+impl ClientStats {
+    fn merge(&mut self, other: ClientStats) {
+        self.ok += other.ok;
+        self.retried += other.retried;
+        self.exhausted += other.exhausted;
+        self.failed += other.failed;
+        self.latencies_ms.extend(other.latencies_ms);
+    }
+}
+
+/// One load-generating client: `requests` queries, retrying retryable
+/// statuses with a per-client deterministic backoff stream.
+fn client(
+    addr: std::net::SocketAddr,
+    stream_id: u64,
+    requests: usize,
+    vectors: usize,
+) -> ClientStats {
+    let mut rng = StdRng::seed_from_u64(SEED).split_stream(stream_id.wrapping_add(1));
+    let mut stats = ClientStats::default();
+    for _ in 0..requests {
+        let id = format!("v{}", rng.random_range(0..vectors));
+        let path = if rng.random_bool(0.25) {
+            format!("/embed/{id}")
+        } else {
+            format!("/similar?id={id}&k=8")
+        };
+        let started = Instant::now();
+        let mut backoff = Backoff::new(SEED, stream_id);
+        loop {
+            match get(addr, &path) {
+                Ok(status) if (200..300).contains(&status) => {
+                    stats.ok += 1;
+                    break;
+                }
+                // Retryable contract: shed (429), not-ready (503), slow
+                // read (408). Everything else is a terminal failure.
+                Ok(429) | Ok(503) | Ok(408) | Err(()) => match backoff.next_delay() {
+                    Some(delay) => {
+                        stats.retried += 1;
+                        std::thread::sleep(delay.min(Duration::from_millis(50)));
+                    }
+                    None => {
+                        stats.exhausted += 1;
+                        break;
+                    }
+                },
+                Ok(_) => {
+                    stats.failed += 1;
+                    break;
+                }
+            }
+        }
+        let ms = started.elapsed().as_secs_f64() * 1e3;
+        stats.latencies_ms.push(ms);
+        x2v_obs::observe(keys::SERVE_CLIENT_LATENCY_MS, ms);
+    }
+    stats
+}
+
+/// Minimal HTTP GET: returns the status code, `Err(())` on any transport
+/// failure (treated as retryable — the daemon may have dropped us).
+fn get(addr: std::net::SocketAddr, path: &str) -> Result<u16, ()> {
+    let mut stream = TcpStream::connect(addr).map_err(|_| ())?;
+    let timeout = Some(Duration::from_secs(2));
+    let _ = stream.set_read_timeout(timeout);
+    let _ = stream.set_write_timeout(timeout);
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: x2v\r\n\r\n").as_bytes())
+        .map_err(|_| ())?;
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).map_err(|_| ())?;
+    let line = response.split(|&b| b == b'\r').next().ok_or(())?;
+    let text = std::str::from_utf8(line).map_err(|_| ())?;
+    text.split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or(())
+}
+
+/// Parsed command-line knobs, post-clamping.
+struct Args {
+    clients: usize,
+    requests: usize,
+    dim: usize,
+    vectors: usize,
+    workers: usize,
+    queue: usize,
+}
+
+/// `--clients N --requests N --dim D --vectors N --workers N --queue N`,
+/// defaults (4, 50, 16, 400, 2, 8).
+fn args() -> Args {
+    let mut parsed = Args {
+        clients: 4,
+        requests: 50,
+        dim: 16,
+        vectors: 400,
+        workers: 2,
+        queue: 8,
+    };
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        let mut grab = |target: &mut usize| {
+            if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                *target = v;
+            }
+        };
+        match a.as_str() {
+            "--clients" => grab(&mut parsed.clients),
+            "--requests" => grab(&mut parsed.requests),
+            "--dim" => grab(&mut parsed.dim),
+            "--vectors" => grab(&mut parsed.vectors),
+            "--workers" => grab(&mut parsed.workers),
+            "--queue" => grab(&mut parsed.queue),
+            _ => {}
+        }
+    }
+    parsed.clients = parsed.clients.max(1);
+    parsed.requests = parsed.requests.max(1);
+    parsed.dim = parsed.dim.max(1);
+    parsed.vectors = parsed.vectors.max(2);
+    parsed.workers = parsed.workers.max(1);
+    parsed.queue = parsed.queue.max(1);
+    parsed
+}

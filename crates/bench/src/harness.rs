@@ -125,6 +125,31 @@ pub fn embedding_cv_accuracy(
     gram_cv_accuracy(&normalize(&gram), labels, folds, seed)
 }
 
+/// Runs an experiment body under an [`ObsRun`](crate::ObsRun) guard and
+/// exits with the workspace-standard exit code for its outcome: 0 on
+/// success, otherwise [`GuardError::exit_code`] (see
+/// [`x2v_guard::TRIAGE`]), so scripts and CI can branch on *why* an
+/// `exp_*` binary stopped instead of pattern-matching stderr. The obs
+/// guard drops — writing the run report — before the process exits,
+/// including on the error path.
+pub fn guarded_main(
+    run: &'static str,
+    body: impl FnOnce() -> Result<(), x2v_guard::GuardError>,
+) -> ! {
+    let result = {
+        let _obs = crate::ObsRun::new(run);
+        body()
+    };
+    match result {
+        Ok(()) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("[{run}] failed: {e}");
+            eprintln!("{}", x2v_guard::TRIAGE);
+            std::process::exit(e.exit_code());
+        }
+    }
+}
+
 /// Prints a fixed-width table row.
 pub fn print_row(cells: &[String], widths: &[usize]) {
     let mut line = String::new();

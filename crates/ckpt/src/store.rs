@@ -112,6 +112,13 @@ impl Store {
     /// `ckpt/corrupt_detected`) and the scan falls back to the next older
     /// one. `Ok(None)` means no usable checkpoint exists: cold-start.
     ///
+    /// Safe to call while a writer is actively publishing into the same
+    /// job: a listed file that has *vanished* by the time it is read means
+    /// the writer's retention pruning raced this scan, so the scan restarts
+    /// against the fresh directory state instead of misreporting the pruned
+    /// file as corruption. The result is always either the old or a newer
+    /// complete generation — never an error, never a torn frame.
+    ///
     /// Only unreadable *directories* surface as `Err` — individual bad files
     /// never abort the scan.
     pub fn load_latest(&self, job: &str, kind: &str) -> Result<Option<(u64, Vec<u8>)>, GuardError> {
@@ -119,18 +126,52 @@ impl Store {
         if !dir.exists() {
             return Ok(None);
         }
-        let mut gens = self.generations(&dir)?;
-        gens.reverse(); // newest first
-        for (generation, path) in gens {
-            match fs::read(&path) {
-                Ok(bytes) => match frame::decode_kind(&bytes, kind) {
-                    Ok(payload) => return Ok(Some((generation, payload))),
-                    Err(err) => self.quarantine(&dir, &path, &err.to_string()),
-                },
-                Err(err) => self.quarantine(&dir, &path, &format!("unreadable: {err}")),
+        // Rescans are bounded for determinism; each one requires the writer
+        // to have pruned past the whole previous listing within the
+        // list-to-read window (microseconds vs. fsync-paced saves), so the
+        // bound is unreachable in practice.
+        const SCAN_ATTEMPTS: usize = 8;
+        'rescan: for attempt in 0..SCAN_ATTEMPTS {
+            let mut gens = self.generations(&dir)?;
+            gens.reverse(); // newest first
+            for (generation, path) in gens {
+                match fs::read(&path) {
+                    Ok(bytes) => match frame::decode_kind(&bytes, kind) {
+                        Ok(payload) => return Ok(Some((generation, payload))),
+                        Err(err) => self.quarantine(&dir, &path, &err.to_string()),
+                    },
+                    Err(err) if err.kind() == std::io::ErrorKind::NotFound => {
+                        if attempt + 1 < SCAN_ATTEMPTS {
+                            continue 'rescan; // pruned under us: re-list
+                        }
+                        // Out of rescans: skip it — there is nothing on
+                        // disk to quarantine.
+                    }
+                    Err(err) => self.quarantine(&dir, &path, &format!("unreadable: {err}")),
+                }
             }
+            return Ok(None);
         }
         Ok(None)
+    }
+
+    /// The newest generation number of `job` present on disk, without
+    /// reading or validating any file — the generation-*watch* API. A
+    /// long-lived reader (the `x2v-serve` reload poller) calls this
+    /// cheaply on an interval and only pays for [`Store::load_latest`]
+    /// when the number moves. `Ok(None)` means the job has no generations
+    /// (never saved, or all pruned/quarantined).
+    ///
+    /// The returned number can exceed what [`Store::load_latest`] will
+    /// load: the newest file may still fail validation. That gap is
+    /// exactly the "newest is corrupt or mid-write" signal graceful
+    /// degradation keys on.
+    pub fn latest_generation(&self, job: &str) -> Result<Option<u64>, GuardError> {
+        let dir = self.job_dir(job);
+        if !dir.exists() {
+            return Ok(None);
+        }
+        Ok(self.generations(&dir)?.last().map(|&(g, _)| g))
     }
 
     /// Deletes every generation of `job` (quarantined files are kept). Used
@@ -264,6 +305,26 @@ mod tests {
         let (generation, payload) = store.load_latest("j", "k").unwrap().unwrap();
         assert_eq!(generation, 2);
         assert_eq!(payload, b"two");
+        teardown(store);
+    }
+
+    #[test]
+    fn latest_generation_watches_without_reading() {
+        let store = tmpstore("watch");
+        assert_eq!(store.latest_generation("j").unwrap(), None);
+        store.save("j", "k", b"one").unwrap();
+        assert_eq!(store.latest_generation("j").unwrap(), Some(1));
+        store.save("j", "k", b"two").unwrap();
+        assert_eq!(store.latest_generation("j").unwrap(), Some(2));
+        // The watch sees a corrupt newest generation (it only counts
+        // files); load_latest then falls back below it.
+        let newest = store.job_dir("j").join("gen-000002.ckpt");
+        fs::write(&newest, b"garbage").unwrap();
+        assert_eq!(store.latest_generation("j").unwrap(), Some(2));
+        let (generation, _) = store.load_latest("j", "k").unwrap().unwrap();
+        assert_eq!(generation, 1);
+        // After quarantine the watch agrees with what is loadable again.
+        assert_eq!(store.latest_generation("j").unwrap(), Some(1));
         teardown(store);
     }
 

@@ -109,6 +109,48 @@ impl Budget {
             .map(|d| d.saturating_duration_since(Instant::now()).as_millis() as u64)
     }
 
+    /// Time until the deadline (`None` when no deadline is set, zero when
+    /// it has passed).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// Converts the remaining deadline into a socket read/write timeout:
+    /// the smaller of the time left and `cap`, clamped up to 1 ms (the
+    /// socket APIs reject a zero timeout). With no deadline set the result
+    /// is `cap` unchanged — a guarded server never blocks unboundedly.
+    ///
+    /// This is how blocking I/O composes with a [`Budget`]: [`Meter::tick`]
+    /// can only observe a deadline *between* operations, so a blocking
+    /// `read` must carry the deadline into the socket itself
+    /// (`set_read_timeout`) and map the resulting `WouldBlock`/`TimedOut`
+    /// back to a typed error.
+    ///
+    /// # Errors
+    /// [`GuardError::BudgetExhausted`] when the deadline has already
+    /// passed — callers should fail the request before touching the socket.
+    pub fn socket_timeout(
+        &self,
+        site: &'static str,
+        cap: Duration,
+    ) -> Result<Duration, GuardError> {
+        let Some(remaining) = self.remaining() else {
+            return Ok(cap.max(Duration::from_millis(1)));
+        };
+        if remaining.is_zero() {
+            x2v_obs::counter_add("guard/budget_exhausted", 1);
+            x2v_obs::mark("guard/budget_exhausted");
+            return Err(GuardError::BudgetExhausted {
+                site,
+                work_done: 0,
+                work_limit: None,
+                elapsed_ms: Some(self.started.elapsed().as_millis() as u64),
+            });
+        }
+        Ok(remaining.min(cap).max(Duration::from_millis(1)))
+    }
+
     /// Polls the cancel token and the wall-clock deadline *without* any
     /// work accounting or fault arming — safe to call from parallel worker
     /// threads at arbitrary (thread-count-dependent) frequency, because it
@@ -404,6 +446,39 @@ mod tests {
             Err(GuardError::BudgetExhausted { .. })
         ));
         assert_eq!(b.remaining_ms(), Some(0));
+    }
+
+    #[test]
+    fn socket_timeout_tracks_the_deadline() {
+        // No deadline: the cap passes through.
+        let cap = Duration::from_millis(250);
+        let b = Budget::unlimited();
+        assert_eq!(b.socket_timeout("test/sock", cap).unwrap(), cap);
+        assert_eq!(b.remaining(), None);
+
+        // A distant deadline: capped, never zero.
+        let b = Budget::unlimited().with_deadline_ms(60_000);
+        let t = b.socket_timeout("test/sock", cap).unwrap();
+        assert_eq!(t, cap);
+        assert!(b.remaining().unwrap() > Duration::from_secs(50));
+
+        // A near deadline wins over the cap.
+        let b = Budget::unlimited().with_deadline_ms(40);
+        let t = b
+            .socket_timeout("test/sock", Duration::from_secs(10))
+            .unwrap();
+        assert!(t <= Duration::from_millis(40) && t >= Duration::from_millis(1));
+
+        // An expired deadline is a typed error, not a zero timeout.
+        let b = Budget::unlimited().with_deadline_ms(0);
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(matches!(
+            b.socket_timeout("test/sock", cap),
+            Err(GuardError::BudgetExhausted {
+                site: "test/sock",
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -127,6 +127,23 @@ impl GuardError {
             GuardError::BudgetExhausted { .. } | GuardError::Cancelled { .. }
         )
     }
+
+    /// The standardized process exit code for binaries that surface this
+    /// error (see [`TRIAGE`]). One code per variant, so a CI fault matrix
+    /// can assert *which* failure occurred instead of just "non-zero":
+    /// codes 0/1/101 keep their conventional meanings (success, generic
+    /// failure, panic) and typed guard failures start at 2.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            GuardError::InvalidInput { .. } => 2,
+            GuardError::BudgetExhausted { .. } => 3,
+            GuardError::Storage { .. } => 4,
+            GuardError::Cancelled { .. } => 5,
+            GuardError::NonConvergence { .. } => 6,
+            GuardError::NumericFailure { .. } => 7,
+            GuardError::WorkerPanic { .. } => 8,
+        }
+    }
 }
 
 impl fmt::Display for GuardError {
@@ -183,15 +200,20 @@ impl fmt::Display for GuardError {
 
 impl std::error::Error for GuardError {}
 
-/// A short triage guide mapping each [`GuardError`] variant to the fix,
-/// for binaries that surface guard diagnostics to an operator.
+/// A short triage guide mapping each [`GuardError`] variant to its
+/// standardized process exit code ([`GuardError::exit_code`]) and the fix,
+/// for binaries that surface guard diagnostics to an operator. The `exp_*`
+/// binaries exit with these codes (via `x2v_bench::harness::guarded_main`),
+/// so scripts and the CI fault matrix can assert which failure occurred.
 pub const TRIAGE: &str = "\
-  BudgetExhausted  raise --budget-ms / the work limit, or accept the partial variant\n\
-  Cancelled        expected after a CancelToken fires; the partial work is discarded\n\
-  NonConvergence   raise max_iters/retries or loosen the tolerance\n\
-  InvalidInput     fix the input named in the message; nothing was computed\n\
-  NumericFailure   the input poisons floating point (NaN/inf) or overflows exact counts\n\
-  Storage          an artifact write failed or a stored artifact is corrupt; check disk\n\
-                   space and the quarantine directory, then re-run (resume is safe)\n\
-  WorkerPanic      a parallel chunk closure panicked; the pool is fine — fix the bug the\n\
-                   panic message names (or the armed panic fault) and re-run";
+  exit  error            triage\n\
+     2  InvalidInput     fix the input named in the message; nothing was computed\n\
+     3  BudgetExhausted  raise --budget-ms / the work limit, or accept the partial variant\n\
+     4  Storage          an artifact write failed or a stored artifact is corrupt; check disk\n\
+                         space and the quarantine directory, then re-run (resume is safe)\n\
+     5  Cancelled        expected after a CancelToken fires; the partial work is discarded\n\
+     6  NonConvergence   raise max_iters/retries or loosen the tolerance\n\
+     7  NumericFailure   the input poisons floating point (NaN/inf) or overflows exact counts\n\
+     8  WorkerPanic      a parallel chunk closure panicked; the pool is fine — fix the bug the\n\
+                         panic message names (or the armed panic fault) and re-run\n\
+  (0 = success, 1 = generic failure, 101 = unhandled panic, as usual)";

@@ -38,6 +38,19 @@
 //! * `enospc@site:N` — the N-th write at `site` fails with an I/O error
 //!   before anything reaches the destination, simulating a full disk.
 //!
+//! Socket-level fault kinds target network-facing request paths (queried
+//! via [`socket_fault`], honoured by the `x2v-serve` daemon):
+//!
+//! * `conndrop@site:N` — the N-th query at `site` tells the caller to drop
+//!   the connection on the floor, simulating a client (or middlebox)
+//!   vanishing mid-request;
+//! * `slowread@site:N` — the N-th query tells the caller to behave as a
+//!   slow-loris peer: stall until the socket read deadline expires;
+//! * `corrupt@site:N` — the N-th query tells the caller to corrupt the
+//!   bytes it just read (one bit flipped) before validating them,
+//!   simulating a torn or bit-rotted artifact arriving over the wire or
+//!   from disk.
+//!
 //! Every fired fault increments the `guard/faults_injected` obs counter.
 
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -65,12 +78,25 @@ pub enum StoreFaultKind {
     Enospc,
 }
 
+/// The kind of socket-layer fault a network request path can be forced to
+/// exhibit (see [`socket_fault`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SocketFaultKind {
+    /// Drop the connection without a response (a vanished peer).
+    ConnDrop,
+    /// Stall like a slow-loris peer until the read deadline expires.
+    SlowRead,
+    /// Flip one bit of the bytes just read, before validation.
+    Corrupt,
+}
+
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Kind {
     Flow(FaultKind),
     Nan,
     Panic,
     Store(StoreFaultKind),
+    Socket(SocketFaultKind),
 }
 
 /// One armed fault: fire `kind` on the `at`-th call at `site`.
@@ -111,6 +137,9 @@ fn ensure_env_parsed() {
                         "torn" => Kind::Store(StoreFaultKind::Torn),
                         "bitflip" => Kind::Store(StoreFaultKind::Bitflip),
                         "enospc" => Kind::Store(StoreFaultKind::Enospc),
+                        "conndrop" => Kind::Socket(SocketFaultKind::ConnDrop),
+                        "slowread" => Kind::Socket(SocketFaultKind::SlowRead),
+                        "corrupt" => Kind::Socket(SocketFaultKind::Corrupt),
                         other => {
                             eprintln!("[x2v-guard] ignoring unknown fault kind {other:?}");
                             continue;
@@ -165,6 +194,13 @@ pub fn inject_panic(site: &str, at: u64) {
     arm(Kind::Panic, site, at.max(1));
 }
 
+/// Programmatically arms a socket fault: the `at`-th query of
+/// [`socket_fault`] at `site` (1-based) answers `kind`.
+pub fn inject_socket(kind: SocketFaultKind, site: &str, at: u64) {
+    ensure_env_parsed();
+    arm(Kind::Socket(kind), site, at.max(1));
+}
+
 /// Disarms every pending fault (armed by env or programmatically).
 pub fn clear() {
     ensure_env_parsed();
@@ -217,6 +253,34 @@ pub fn store_fault(site: &str) -> Option<StoreFaultKind> {
             continue;
         }
         if let Kind::Store(kind) = slot.kind {
+            slot.calls += 1;
+            if slot.calls == slot.at {
+                slot.fired = true;
+                x2v_obs::counter_add("guard/faults_injected", 1);
+                x2v_obs::mark("guard/fault_injected");
+                return Some(kind);
+            }
+        }
+    }
+    None
+}
+
+/// Queried by a network request path at `site` (e.g. `"serve/read"` before
+/// reading a request, `"serve/frame"` before validating loaded artifact
+/// bytes): counts this query against armed socket faults and returns the
+/// fault the caller must exhibit, if one fires. One relaxed atomic load
+/// when nothing is armed. Firing increments `guard/faults_injected` and
+/// emits the `guard/fault_injected` trace instant.
+pub fn socket_fault(site: &str) -> Option<SocketFaultKind> {
+    if !any_armed() {
+        return None;
+    }
+    let mut slots = SLOTS.lock().expect("fault slots lock");
+    for slot in slots.iter_mut() {
+        if slot.fired || slot.site != site {
+            continue;
+        }
+        if let Kind::Socket(kind) = slot.kind {
             slot.calls += 1;
             if slot.calls == slot.at {
                 slot.fired = true;
@@ -314,6 +378,12 @@ mod tests {
         assert_eq!(store_fault("test/store"), None); // write 1: not yet
         assert_eq!(store_fault("test/store"), Some(StoreFaultKind::Torn));
         assert_eq!(store_fault("test/store"), None); // fired, stays off
+
+        inject_socket(SocketFaultKind::ConnDrop, "test/socket", 2);
+        assert_eq!(socket_fault("other/socket"), None);
+        assert_eq!(socket_fault("test/socket"), None); // query 1: not yet
+        assert_eq!(socket_fault("test/socket"), Some(SocketFaultKind::ConnDrop));
+        assert_eq!(socket_fault("test/socket"), None); // fired, stays off
 
         clear();
         assert!(!any_armed());

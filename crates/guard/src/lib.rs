@@ -21,9 +21,14 @@
 //!   APIs meter against — the `--budget-ms` / `X2V_BUDGET_MS` escape hatch
 //!   of the `exp_*` binaries;
 //! * [`faults`] — deterministic, env-gated fault injection (`X2V_FAULTS`)
-//!   that forces budget exhaustion, cancellation, NaN poisoning and
-//!   store-level corruption (torn writes, bit flips, disk-full) at chosen
-//!   call counts, so every degradation path is itself under test.
+//!   that forces budget exhaustion, cancellation, NaN poisoning,
+//!   store-level corruption (torn writes, bit flips, disk-full) and
+//!   socket-level failures (dropped connections, slow-loris reads, frame
+//!   corruption) at chosen call counts, so every degradation path is
+//!   itself under test;
+//! * [`retry`] — deterministic jittered exponential backoff
+//!   ([`retry::Backoff`]), seeded through the vendored xoshiro
+//!   split-stream API so retry schedules replay bit-identically.
 //!
 //! Degradations are observable: trips and fallbacks increment the
 //! `guard/budget_exhausted`, `guard/cancelled`, `guard/degraded`,
@@ -51,6 +56,7 @@
 mod budget;
 mod error;
 pub mod faults;
+pub mod retry;
 
 pub use budget::{
     ambient, clear_ambient, install_ambient, note_degraded, note_retry, Budget, CancelToken, Meter,

@@ -1,0 +1,188 @@
+//! Deterministic jittered exponential backoff for retry loops.
+//!
+//! Retrying against a shedding server needs *jitter* (so a burst of
+//! rejected clients does not re-converge into the same burst) but the
+//! workspace's determinism contract forbids wall-clock or OS entropy. A
+//! [`Backoff`] therefore draws its jitter from the vendored xoshiro256++
+//! split-stream API: the schedule is a pure function of `(seed, stream)`,
+//! so a load test replays bit-identically while distinct clients (distinct
+//! streams) still spread out in time.
+//!
+//! ```
+//! use x2v_guard::retry::Backoff;
+//!
+//! let mut backoff = Backoff::new(42, 0).with_base_ms(10).with_cap_ms(500);
+//! let schedule: Vec<_> = std::iter::from_fn(|| backoff.next_delay()).collect();
+//! assert_eq!(schedule.len() as u32, Backoff::DEFAULT_MAX_RETRIES);
+//! // Same seed and stream: the identical schedule.
+//! let mut again = Backoff::new(42, 0).with_base_ms(10).with_cap_ms(500);
+//! let replay: Vec<_> = std::iter::from_fn(|| again.next_delay()).collect();
+//! assert_eq!(schedule, replay);
+//! ```
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic, jittered exponential backoff schedule.
+///
+/// Attempt `n` (0-based) sleeps an "equal jitter" delay drawn from
+/// `[e/2, e]` where `e = min(base · 2ⁿ, cap)` — the exponential envelope
+/// bounds the delay above, the half-floor keeps retries from landing
+/// immediately, and the uniform half decorrelates concurrent clients.
+/// [`Backoff::next_delay`] returns `None` once `max_retries` delays have
+/// been handed out; each delay handed out is counted as one
+/// [`crate::note_retry`] (`guard/retries`).
+#[derive(Clone, Debug)]
+pub struct Backoff {
+    base_ms: u64,
+    cap_ms: u64,
+    max_retries: u32,
+    attempt: u32,
+    rng: StdRng,
+}
+
+impl Backoff {
+    /// Default first-attempt envelope in milliseconds.
+    pub const DEFAULT_BASE_MS: u64 = 5;
+    /// Default per-delay ceiling in milliseconds.
+    pub const DEFAULT_CAP_MS: u64 = 1_000;
+    /// Default number of retries before giving up.
+    pub const DEFAULT_MAX_RETRIES: u32 = 6;
+
+    /// A backoff drawing jitter from substream `stream` of the xoshiro
+    /// generator seeded with `seed` (see `StdRng::split_stream`): distinct
+    /// streams of one seed never share draws, so give every concurrent
+    /// client its own stream index.
+    pub fn new(seed: u64, stream: u64) -> Self {
+        Backoff {
+            base_ms: Self::DEFAULT_BASE_MS,
+            cap_ms: Self::DEFAULT_CAP_MS,
+            max_retries: Self::DEFAULT_MAX_RETRIES,
+            attempt: 0,
+            rng: StdRng::seed_from_u64(seed).split_stream(stream),
+        }
+    }
+
+    /// Sets the first-attempt envelope (clamped to at least 1 ms).
+    pub fn with_base_ms(mut self, ms: u64) -> Self {
+        self.base_ms = ms.max(1);
+        self
+    }
+
+    /// Sets the per-delay ceiling (clamped to at least the base).
+    pub fn with_cap_ms(mut self, ms: u64) -> Self {
+        self.cap_ms = ms.max(self.base_ms);
+        self
+    }
+
+    /// Sets how many delays are handed out before [`Backoff::next_delay`]
+    /// reports exhaustion.
+    pub fn with_max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Delays handed out so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// The next delay to sleep before retrying, or `None` when the retry
+    /// budget is exhausted and the caller should surface its last error.
+    /// Counts `guard/retries` for every delay handed out.
+    pub fn next_delay(&mut self) -> Option<Duration> {
+        if self.attempt >= self.max_retries {
+            return None;
+        }
+        let envelope = self
+            .base_ms
+            .checked_shl(self.attempt)
+            .unwrap_or(self.cap_ms)
+            .min(self.cap_ms);
+        let floor = envelope / 2;
+        let jittered = floor + self.rng.random_range(0..=envelope - floor);
+        self.attempt += 1;
+        crate::note_retry();
+        Some(Duration::from_millis(jittered))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schedule(seed: u64, stream: u64, base: u64, cap: u64, retries: u32) -> Vec<Duration> {
+        let mut b = Backoff::new(seed, stream)
+            .with_base_ms(base)
+            .with_cap_ms(cap)
+            .with_max_retries(retries);
+        std::iter::from_fn(|| b.next_delay()).collect()
+    }
+
+    #[test]
+    fn schedule_is_deterministic_per_seed_and_stream() {
+        let a = schedule(7, 3, 10, 10_000, 8);
+        let b = schedule(7, 3, 10, 10_000, 8);
+        assert_eq!(a, b);
+        // A different stream of the same seed gives a different schedule
+        // (the substreams are disjoint), but the same length.
+        let c = schedule(7, 4, 10, 10_000, 8);
+        assert_eq!(c.len(), a.len());
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn delays_respect_the_exponential_envelope_and_cap() {
+        let base = 10u64;
+        let cap = 200u64;
+        let s = schedule(1, 0, base, cap, 10);
+        assert_eq!(s.len(), 10);
+        for (n, d) in s.iter().enumerate() {
+            let envelope = base.checked_shl(n as u32).unwrap_or(cap).min(cap);
+            let ms = d.as_millis() as u64;
+            assert!(
+                ms >= envelope / 2,
+                "attempt {n}: {ms} ms below jitter floor"
+            );
+            assert!(
+                ms <= envelope,
+                "attempt {n}: {ms} ms above envelope {envelope}"
+            );
+            assert!(ms <= cap, "attempt {n}: {ms} ms above cap {cap}");
+        }
+        // The tail of a long schedule is fully capped.
+        let tail = &s[6..];
+        assert!(tail.iter().all(|d| d.as_millis() as u64 <= cap));
+    }
+
+    #[test]
+    fn exhaustion_is_exact() {
+        let mut b = Backoff::new(0, 0).with_max_retries(3);
+        assert!(b.next_delay().is_some());
+        assert!(b.next_delay().is_some());
+        assert!(b.next_delay().is_some());
+        assert_eq!(b.attempts(), 3);
+        assert!(b.next_delay().is_none());
+        assert!(b.next_delay().is_none(), "exhaustion is sticky");
+    }
+
+    #[test]
+    fn zero_retries_means_no_delays() {
+        let mut b = Backoff::new(0, 0).with_max_retries(0);
+        assert!(b.next_delay().is_none());
+    }
+
+    #[test]
+    fn huge_attempt_counts_do_not_overflow() {
+        let mut b = Backoff::new(9, 9)
+            .with_base_ms(1 << 40)
+            .with_cap_ms(1 << 41)
+            .with_max_retries(80);
+        for _ in 0..80 {
+            let d = b.next_delay().unwrap();
+            assert!(d.as_millis() as u64 <= 1 << 41);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Canonical metric-key constants for cross-crate request metrics.
+//!
+//! Most obs keys are private to one call site and are written as string
+//! literals there. The request-serving metrics are different: they are
+//! *contracts* — emitted by `x2v-serve`, asserted on by fault-drill tests,
+//! scraped out of JSON run reports by the CI `serve-smoke` job, and
+//! documented in `docs/serving.md`. Centralising them here keeps the
+//! emitter, the assertions and the docs pointing at one name.
+
+/// Requests fully parsed and routed (every response sent except sheds).
+pub const SERVE_REQUESTS: &str = "serve/requests";
+/// Connections rejected by the bounded accept queue with a retryable
+/// 429-style response — the load-shedding counter.
+pub const SERVE_SHED: &str = "serve/shed";
+/// Requests answered from a *stale* snapshot because the newest checkpoint
+/// generation on disk failed validation (graceful degradation).
+pub const SERVE_STALE: &str = "serve/stale_serves";
+/// Successful artifact (re)loads, including the initial one.
+pub const SERVE_RELOADS: &str = "serve/reloads";
+/// Artifact reload attempts that failed validation and left the previous
+/// snapshot serving.
+pub const SERVE_RELOAD_REJECTED: &str = "serve/reload_rejected";
+/// Requests that ended in a typed error response (4xx/5xx), including
+/// deadline trips.
+pub const SERVE_ERRORS: &str = "serve/errors";
+/// Requests whose per-request deadline expired mid-handling (a subset of
+/// [`SERVE_ERRORS`]).
+pub const SERVE_DEADLINE_TRIPS: &str = "serve/deadline_trips";
+/// Connections dropped before a response could be written (vanished peer,
+/// injected `conndrop`).
+pub const SERVE_CONN_DROPPED: &str = "serve/conn_dropped";
+/// Histogram: wall milliseconds per request, observed server-side from
+/// accept to response flush (p50/p90/p99 land in the run report).
+pub const SERVE_LATENCY_MS: &str = "serve/latency_ms";
+/// Histogram: wall milliseconds per request observed *client-side* by the
+/// load generator, across retries.
+pub const SERVE_CLIENT_LATENCY_MS: &str = "serve_load/latency_ms";

@@ -53,6 +53,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod fsio;
+pub mod keys;
 mod progress;
 mod registry;
 mod report;

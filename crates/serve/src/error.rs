@@ -1,0 +1,245 @@
+//! The typed request-failure taxonomy and its HTTP status mapping.
+
+use std::fmt;
+
+use x2v_guard::GuardError;
+
+/// Why a request could not be answered normally. Every variant maps onto
+/// one HTTP status ([`ServeError::status`]) and a retryability verdict
+/// ([`ServeError::retryable`]) — the server never responds with an
+/// unclassified failure and never panics on a bad request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServeError {
+    /// The request bytes violate the (deliberately strict) protocol
+    /// subset: malformed request line, non-UTF-8, bad query syntax, an
+    /// unparseable parameter. 400.
+    BadRequest {
+        /// What was wrong, phrased actionably.
+        message: String,
+    },
+    /// The method is not `GET` — the API is read-only. 405.
+    MethodNotAllowed {
+        /// The offending method token.
+        method: String,
+    },
+    /// The path or embedding id does not exist. 404.
+    NotFound {
+        /// What was looked up.
+        what: String,
+    },
+    /// The request head or declared body exceeds the configured bound. 413.
+    TooLarge {
+        /// Which bound was exceeded.
+        what: &'static str,
+        /// The configured limit in bytes.
+        limit: usize,
+    },
+    /// The client fed bytes too slowly (or not at all) and the socket read
+    /// deadline expired — the anti-slow-loris path. 408.
+    SlowClient,
+    /// The per-request deadline expired while the request was being
+    /// handled; a typed degradation instead of a wedged worker. 504.
+    DeadlineExceeded {
+        /// Milliseconds the request had been running, when known.
+        elapsed_ms: Option<u64>,
+    },
+    /// The bounded accept queue is full and the connection was shed.
+    /// Retryable by contract — clients should back off and retry. 429.
+    Overloaded,
+    /// No servable snapshot exists (not loaded yet, or every generation is
+    /// corrupt) or the server is shutting down. Retryable. 503.
+    Unavailable {
+        /// Why, phrased actionably.
+        message: String,
+    },
+    /// An unexpected internal failure (I/O mid-response, a guard error
+    /// that is not resource governance). 500.
+    Internal {
+        /// What broke.
+        message: String,
+    },
+}
+
+impl ServeError {
+    /// Constructs a [`ServeError::BadRequest`].
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        ServeError::BadRequest {
+            message: message.into(),
+        }
+    }
+
+    /// Constructs a [`ServeError::NotFound`].
+    pub fn not_found(what: impl Into<String>) -> Self {
+        ServeError::NotFound { what: what.into() }
+    }
+
+    /// Constructs a [`ServeError::Unavailable`].
+    pub fn unavailable(message: impl Into<String>) -> Self {
+        ServeError::Unavailable {
+            message: message.into(),
+        }
+    }
+
+    /// The HTTP status code this failure maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            ServeError::BadRequest { .. } => 400,
+            ServeError::MethodNotAllowed { .. } => 405,
+            ServeError::NotFound { .. } => 404,
+            ServeError::TooLarge { .. } => 413,
+            ServeError::SlowClient => 408,
+            ServeError::DeadlineExceeded { .. } => 504,
+            ServeError::Overloaded => 429,
+            ServeError::Unavailable { .. } => 503,
+            ServeError::Internal { .. } => 500,
+        }
+    }
+
+    /// The status reason phrase.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            ServeError::BadRequest { .. } => "Bad Request",
+            ServeError::MethodNotAllowed { .. } => "Method Not Allowed",
+            ServeError::NotFound { .. } => "Not Found",
+            ServeError::TooLarge { .. } => "Payload Too Large",
+            ServeError::SlowClient => "Request Timeout",
+            ServeError::DeadlineExceeded { .. } => "Gateway Timeout",
+            ServeError::Overloaded => "Too Many Requests",
+            ServeError::Unavailable { .. } => "Service Unavailable",
+            ServeError::Internal { .. } => "Internal Server Error",
+        }
+    }
+
+    /// Whether a client should retry (with backoff) rather than give up:
+    /// `true` exactly for the transient-overload family (shed, not-ready,
+    /// slow-read timeout). Deadline trips are *not* retryable by default —
+    /// the same query will trip the same deadline.
+    pub fn retryable(&self) -> bool {
+        matches!(
+            self,
+            ServeError::Overloaded | ServeError::Unavailable { .. } | ServeError::SlowClient
+        )
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::BadRequest { message } => write!(f, "bad request: {message}"),
+            ServeError::MethodNotAllowed { method } => {
+                write!(f, "method {method:?} not allowed (read-only API)")
+            }
+            ServeError::NotFound { what } => write!(f, "not found: {what}"),
+            ServeError::TooLarge { what, limit } => {
+                write!(f, "{what} exceeds the {limit}-byte bound")
+            }
+            ServeError::SlowClient => write!(f, "request read timed out (slow or stalled client)"),
+            ServeError::DeadlineExceeded { elapsed_ms } => {
+                write!(f, "request deadline exceeded")?;
+                if let Some(ms) = elapsed_ms {
+                    write!(f, " after {ms} ms")?;
+                }
+                Ok(())
+            }
+            ServeError::Overloaded => {
+                write!(f, "accept queue full, connection shed; retry with backoff")
+            }
+            ServeError::Unavailable { message } => write!(f, "service unavailable: {message}"),
+            ServeError::Internal { message } => write!(f, "internal error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<GuardError> for ServeError {
+    /// Maps the workspace-typed failure onto the request taxonomy: budget
+    /// exhaustion is a deadline trip, storage trouble makes the service
+    /// (retryably) unavailable, bad input is the client's fault, and the
+    /// rest is internal.
+    fn from(e: GuardError) -> Self {
+        match e {
+            GuardError::BudgetExhausted { elapsed_ms, .. } => {
+                ServeError::DeadlineExceeded { elapsed_ms }
+            }
+            GuardError::Cancelled { .. } => ServeError::unavailable("shutting down"),
+            GuardError::Storage { .. } => ServeError::unavailable(e.to_string()),
+            GuardError::InvalidInput { message, .. } => ServeError::BadRequest { message },
+            other => ServeError::Internal {
+                message: other.to_string(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_mapping_is_total_and_sane() {
+        let cases: Vec<(ServeError, u16, bool)> = vec![
+            (ServeError::bad_request("x"), 400, false),
+            (
+                ServeError::MethodNotAllowed {
+                    method: "POST".into(),
+                },
+                405,
+                false,
+            ),
+            (ServeError::not_found("id"), 404, false),
+            (
+                ServeError::TooLarge {
+                    what: "head",
+                    limit: 4096,
+                },
+                413,
+                false,
+            ),
+            (ServeError::SlowClient, 408, true),
+            (
+                ServeError::DeadlineExceeded { elapsed_ms: None },
+                504,
+                false,
+            ),
+            (ServeError::Overloaded, 429, true),
+            (ServeError::unavailable("warming"), 503, true),
+            (
+                ServeError::Internal {
+                    message: "x".into(),
+                },
+                500,
+                false,
+            ),
+        ];
+        for (e, status, retryable) in cases {
+            assert_eq!(e.status(), status, "{e}");
+            assert_eq!(e.retryable(), retryable, "{e}");
+            assert!(!e.reason().is_empty());
+        }
+    }
+
+    #[test]
+    fn guard_errors_map_onto_the_taxonomy() {
+        let trip = GuardError::BudgetExhausted {
+            site: "serve/similar",
+            work_done: 10,
+            work_limit: None,
+            elapsed_ms: Some(7),
+        };
+        assert_eq!(
+            ServeError::from(trip),
+            ServeError::DeadlineExceeded {
+                elapsed_ms: Some(7)
+            }
+        );
+        assert_eq!(
+            ServeError::from(GuardError::storage("ckpt/store", "disk on fire")).status(),
+            503
+        );
+        assert_eq!(
+            ServeError::from(GuardError::invalid_input("serve/req", "bad k")).status(),
+            400
+        );
+    }
+}

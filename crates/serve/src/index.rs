@@ -1,0 +1,311 @@
+//! The in-memory embedding index served by the daemon.
+//!
+//! An [`EmbeddingSet`] is a flat row-major `f64` matrix plus string ids,
+//! persisted through the ckpt [`Store`](x2v_ckpt::Store) under the
+//! [`ARTIFACT_KIND`] frame kind. Decoding is paranoid: every length is
+//! capped, every vector must match the declared dimension, duplicate ids
+//! are rejected, and trailing bytes are treated as corruption — a corrupt
+//! frame yields a typed error and the server keeps its previous snapshot.
+//!
+//! Similarity queries are a deliberate linear scan (exact, deterministic,
+//! no index structure to rebuild on reload) metered against the
+//! per-request [`Budget`], so a scan that outlives its deadline returns a
+//! typed 504 instead of holding a worker hostage.
+
+use std::collections::HashMap;
+
+use x2v_ckpt::codec::{Dec, Enc};
+use x2v_guard::{Budget, GuardError};
+
+/// The ckpt frame kind under which embedding sets are stored.
+pub const ARTIFACT_KIND: &str = "embedding-set";
+
+/// Decode caps: no artifact may claim more rows / wider rows than this.
+/// Generous for everything this workspace trains, tight enough that a
+/// corrupt length field cannot force a multi-gigabyte allocation.
+const MAX_ROWS: usize = 4_000_000;
+const MAX_DIM: usize = 16_384;
+const MAX_ID_BYTES: usize = 4_096;
+
+/// The budget-meter site used by similarity scans.
+pub const SCAN_SITE: &str = "serve/similar";
+
+/// An immutable set of named embedding vectors, ready to serve.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EmbeddingSet {
+    dim: usize,
+    ids: Vec<String>,
+    /// Row-major: vector `i` is `vecs[i*dim .. (i+1)*dim]`.
+    vecs: Vec<f64>,
+    /// Precomputed Euclidean norms, one per row.
+    norms: Vec<f64>,
+    by_id: HashMap<String, usize>,
+}
+
+/// One similarity hit: the neighbour's id and its cosine similarity.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Hit {
+    /// The neighbour's embedding id.
+    pub id: String,
+    /// Cosine similarity in `[-1, 1]` (0.0 when either norm is zero).
+    pub score: f64,
+}
+
+impl EmbeddingSet {
+    /// Builds a set from parallel `(id, vector)` rows. All vectors must
+    /// share a dimension ≥ 1 and ids must be unique and non-empty.
+    pub fn new(rows: Vec<(String, Vec<f64>)>) -> Result<Self, GuardError> {
+        let dim = match rows.first() {
+            None => {
+                return Err(GuardError::invalid_input(
+                    SCAN_SITE,
+                    "embedding set has no rows",
+                ))
+            }
+            Some((_, v)) if v.is_empty() => {
+                return Err(GuardError::invalid_input(
+                    SCAN_SITE,
+                    "embedding dimension must be >= 1",
+                ))
+            }
+            Some((_, v)) => v.len(),
+        };
+        let mut ids = Vec::with_capacity(rows.len());
+        let mut vecs = Vec::with_capacity(rows.len() * dim);
+        let mut by_id = HashMap::with_capacity(rows.len());
+        for (i, (id, v)) in rows.into_iter().enumerate() {
+            if id.is_empty() {
+                return Err(GuardError::invalid_input(SCAN_SITE, "empty embedding id"));
+            }
+            if v.len() != dim {
+                return Err(GuardError::invalid_input(
+                    SCAN_SITE,
+                    format!("row {i} has dimension {} but the set has {dim}", v.len()),
+                ));
+            }
+            if by_id.insert(id.clone(), i).is_some() {
+                return Err(GuardError::invalid_input(
+                    SCAN_SITE,
+                    format!("duplicate embedding id {id:?}"),
+                ));
+            }
+            ids.push(id);
+            vecs.extend_from_slice(&v);
+        }
+        let norms = (0..ids.len())
+            .map(|i| {
+                vecs[i * dim..(i + 1) * dim]
+                    .iter()
+                    .map(|x| x * x)
+                    .sum::<f64>()
+                    .sqrt()
+            })
+            .collect();
+        Ok(EmbeddingSet {
+            dim,
+            ids,
+            vecs,
+            norms,
+            by_id,
+        })
+    }
+
+    /// Number of vectors in the set.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the set is empty (never true for a constructed set, but
+    /// part of the conventional pair with [`len`](Self::len)).
+    pub fn is_empty(&self) -> bool {
+        self.ids.len() == 0
+    }
+
+    /// The shared vector dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The vector stored under `id`, if any.
+    pub fn vector(&self, id: &str) -> Option<&[f64]> {
+        let &row = self.by_id.get(id)?;
+        Some(&self.vecs[row * self.dim..(row + 1) * self.dim])
+    }
+
+    /// The `k` nearest neighbours of `id` by cosine similarity, excluding
+    /// `id` itself. Exact linear scan; one budget unit is metered per row
+    /// at site [`SCAN_SITE`], so the scan trips the request deadline
+    /// instead of overrunning it. Ties break deterministically toward the
+    /// lower row index regardless of insertion or thread order.
+    pub fn top_k(&self, id: &str, k: usize, budget: &Budget) -> Result<Vec<Hit>, GuardError> {
+        let &query_row = self
+            .by_id
+            .get(id)
+            .ok_or_else(|| GuardError::invalid_input(SCAN_SITE, format!("unknown id {id:?}")))?;
+        let q = &self.vecs[query_row * self.dim..(query_row + 1) * self.dim];
+        let q_norm = self.norms[query_row];
+        let mut meter = budget.meter(SCAN_SITE);
+        let mut hits: Vec<(usize, f64)> = Vec::with_capacity(k.saturating_add(1));
+        for row in 0..self.ids.len() {
+            meter.tick(1)?;
+            if row == query_row {
+                continue;
+            }
+            let denom = q_norm * self.norms[row];
+            let score = if denom > 0.0 {
+                let v = &self.vecs[row * self.dim..(row + 1) * self.dim];
+                let dot: f64 = q.iter().zip(v).map(|(a, b)| a * b).sum();
+                dot / denom
+            } else {
+                0.0
+            };
+            // Keep a small sorted worst-out buffer: fine for serving-sized
+            // k, deterministic, no float total-order headaches.
+            let pos = hits
+                .iter()
+                .position(|&(r, s)| score > s || (score == s && row < r))
+                .unwrap_or(hits.len());
+            if pos < k {
+                hits.insert(pos, (row, score));
+                hits.truncate(k);
+            }
+        }
+        Ok(hits
+            .into_iter()
+            .map(|(row, score)| Hit {
+                id: self.ids[row].clone(),
+                score,
+            })
+            .collect())
+    }
+
+    /// Encodes the set as a ckpt frame payload (bit-exact round trip).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u64(self.ids.len() as u64).u64(self.dim as u64);
+        for (i, id) in self.ids.iter().enumerate() {
+            e.str(id);
+            e.f64_slice(&self.vecs[i * self.dim..(i + 1) * self.dim]);
+        }
+        e.finish()
+    }
+
+    /// Decodes a frame payload produced by [`encode`](Self::encode). Any
+    /// violation — bad lengths, dimension mismatch, duplicate ids,
+    /// trailing bytes — is a typed [`GuardError::Storage`], which the
+    /// server treats as "this generation is corrupt, keep the old one".
+    pub fn decode(payload: &[u8]) -> Result<Self, GuardError> {
+        let storage = |what: &str| GuardError::storage(SCAN_SITE, format!("artifact: {what}"));
+        let mut d = Dec::new(payload);
+        let rows = d
+            .len(MAX_ROWS, "row count")
+            .map_err(|e| storage(&e.to_string()))?;
+        let dim = d
+            .len(MAX_DIM, "dimension")
+            .map_err(|e| storage(&e.to_string()))?;
+        if rows == 0 || dim == 0 {
+            return Err(storage("zero rows or zero dimension"));
+        }
+        let mut parsed = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            let id = d
+                .str(MAX_ID_BYTES, "embedding id")
+                .map_err(|e| storage(&e.to_string()))?;
+            let v = d
+                .f64_vec(dim, "embedding vector")
+                .map_err(|e| storage(&e.to_string()))?;
+            if v.len() != dim {
+                return Err(storage("vector shorter than declared dimension"));
+            }
+            parsed.push((id, v));
+        }
+        d.finish("trailing bytes")
+            .map_err(|e| storage(&e.to_string()))?;
+        EmbeddingSet::new(parsed).map_err(|e| storage(&format!("invalid content: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_set() -> EmbeddingSet {
+        EmbeddingSet::new(vec![
+            ("a".into(), vec![1.0, 0.0]),
+            ("b".into(), vec![0.9, 0.1]),
+            ("c".into(), vec![0.0, 1.0]),
+            ("z".into(), vec![0.0, 0.0]), // zero norm
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn top_k_is_exact_and_deterministic() {
+        let set = small_set();
+        let hits = set.top_k("a", 2, &Budget::unlimited()).unwrap();
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].id, "b");
+        assert!(hits[0].score > 0.99);
+        assert_eq!(hits[1].id, "c");
+        // Zero-norm rows score 0.0 instead of NaN and never panic.
+        let hits = set.top_k("z", 3, &Budget::unlimited()).unwrap();
+        assert!(hits.iter().all(|h| h.score == 0.0));
+        // k larger than the set is fine; unknown id is a typed error.
+        assert_eq!(set.top_k("a", 100, &Budget::unlimited()).unwrap().len(), 3);
+        assert!(matches!(
+            set.top_k("nope", 1, &Budget::unlimited()),
+            Err(GuardError::InvalidInput { .. })
+        ));
+    }
+
+    #[test]
+    fn scans_trip_the_work_budget() {
+        let set = small_set();
+        let tight = Budget::unlimited().with_work_limit(2);
+        assert!(matches!(
+            set.top_k("a", 2, &tight),
+            Err(GuardError::BudgetExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn encode_decode_round_trips_bit_exact() {
+        let set = small_set();
+        let decoded = EmbeddingSet::decode(&set.encode()).unwrap();
+        assert_eq!(decoded, set);
+    }
+
+    #[test]
+    fn corrupt_payloads_are_typed_storage_errors_never_panics() {
+        let bytes = small_set().encode();
+        // Every truncation of the valid payload must fail typed.
+        for cut in 0..bytes.len() {
+            match EmbeddingSet::decode(&bytes[..cut]) {
+                Err(GuardError::Storage { .. }) => {}
+                other => panic!("truncation at {cut} gave {other:?}"),
+            }
+        }
+        // Every single-bit flip must either decode (flips confined to
+        // float payloads are legal) or fail typed — never panic.
+        for byte in 0..bytes.len() {
+            let mut mutated = bytes.clone();
+            mutated[byte] ^= 0x01;
+            let _ = EmbeddingSet::decode(&mutated);
+        }
+        // Trailing garbage is corruption.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(matches!(
+            EmbeddingSet::decode(&padded),
+            Err(GuardError::Storage { .. })
+        ));
+        // Construction-level violations: duplicate id, dimension mismatch.
+        assert!(
+            EmbeddingSet::new(vec![("a".into(), vec![1.0]), ("a".into(), vec![2.0]),]).is_err()
+        );
+        assert!(
+            EmbeddingSet::new(vec![("a".into(), vec![1.0]), ("b".into(), vec![1.0, 2.0]),])
+                .is_err()
+        );
+    }
+}

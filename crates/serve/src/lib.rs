@@ -1,0 +1,38 @@
+//! x2v-serve: a fault-tolerant embedding-serving daemon.
+//!
+//! Training produces embedding artifacts; this crate keeps them hot in
+//! memory behind a tiny std-only HTTP API and — the actual point — refuses
+//! to fall over when the world misbehaves. The contract, tested end to end
+//! in `tests/serve_faults.rs`:
+//!
+//! * **Deadlines, not wedged workers.** Every request runs under a guard
+//!   [`Budget`](x2v_guard::Budget) (default from `X2V_SERVE_DEADLINE_MS`,
+//!   per-request via `?deadline_ms=`, capped server-side); similarity
+//!   scans are metered per row, so an over-deadline request returns a
+//!   typed 504.
+//! * **Load-shedding, not collapse.** The accept queue is bounded;
+//!   overflow connections get a fast retryable 429 (`serve/shed`).
+//! * **Strict parsing, no panics.** Untrusted bytes hit a bounded,
+//!   fallible parser ([`http`]); every failure maps through
+//!   [`ServeError`] to a status code.
+//! * **Graceful degradation.** A reload thread polls the ckpt
+//!   [`Store`](x2v_ckpt::Store) for new generations; a corrupt or torn
+//!   newest artifact is rejected and the last good snapshot keeps serving,
+//!   observably (`serve/stale_serves`).
+//!
+//! Endpoints: `/health`, `/ready`, `/embed/<id>`,
+//! `/similar?id=&k=&deadline_ms=`. Fault injection for drills:
+//! `X2V_FAULTS=conndrop@serve/read`, `slowread@serve/read`,
+//! `corrupt@serve/frame` (see `x2v_guard::faults`). `docs/serving.md` has
+//! the operator-facing story.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod http;
+pub mod index;
+pub mod server;
+
+pub use error::ServeError;
+pub use index::{EmbeddingSet, Hit, ARTIFACT_KIND};
+pub use server::{publish, Config, Server, DEADLINE_ENV, FRAME_SITE, READ_SITE};

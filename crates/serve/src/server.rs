@@ -1,0 +1,520 @@
+//! The serving daemon: bounded accept queue, worker pool, per-request
+//! deadlines, and a hot-reload thread that degrades gracefully.
+//!
+//! ## Failure containment map
+//!
+//! | Threat | Defence | Signal |
+//! |---|---|---|
+//! | burst of connections | bounded queue, shed with retryable 429 | `serve/shed` |
+//! | slow/stalled client | socket read timeout → typed 408 | `serve/errors` |
+//! | oversized request | hard head/body byte bounds → 413 | `serve/errors` |
+//! | expensive query | per-request deadline, metered scan → 504 | `serve/deadline_trips` |
+//! | corrupt new artifact | reload rejected, last good snapshot keeps serving | `serve/stale_serves`, `serve/reload_rejected` |
+//! | vanished peer | write error swallowed, worker moves on | `serve/conn_dropped` |
+//!
+//! Every thread is joined on [`Server::shutdown`]; no request path panics
+//! on untrusted bytes (`tests/serve_faults.rs` proves each row above).
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use x2v_ckpt::Store;
+use x2v_guard::faults::{self, SocketFaultKind};
+use x2v_guard::{Budget, GuardError};
+use x2v_obs::keys;
+
+use crate::error::ServeError;
+use crate::http::{self, Request};
+use crate::index::{EmbeddingSet, ARTIFACT_KIND};
+
+/// Fault site for worker-side socket reads (`conndrop@serve/read`,
+/// `slowread@serve/read`).
+pub const READ_SITE: &str = "serve/read";
+/// Fault site for artifact frames on (re)load (`corrupt@serve/frame`).
+pub const FRAME_SITE: &str = "serve/frame";
+
+/// Environment variable overriding the default per-request deadline.
+pub const DEADLINE_ENV: &str = "X2V_SERVE_DEADLINE_MS";
+
+/// Tunables for one [`Server`]. `Default` is production-shaped; tests dial
+/// the bounds down to force each degradation path deterministically.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Bind address; port 0 picks a free port (read it back via
+    /// [`Server::addr`]).
+    pub addr: String,
+    /// Worker threads handling accepted connections.
+    pub workers: usize,
+    /// Bounded accept-queue depth; connections beyond it are shed.
+    pub queue_depth: usize,
+    /// Default per-request deadline when the client sends none.
+    pub default_deadline_ms: u64,
+    /// Hard server-side cap on client-requested `deadline_ms`.
+    pub max_deadline_ms: u64,
+    /// Maximum request-head bytes read before responding 413.
+    pub max_head_bytes: usize,
+    /// Socket read/write timeout (the slow-loris bound).
+    pub io_timeout_ms: u64,
+    /// How often the reload thread polls the store for a new generation.
+    pub reload_poll_ms: u64,
+    /// The store job name the served artifact lives under.
+    pub job: String,
+    /// Hard cap on the `k` of `/similar` queries.
+    pub max_k: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_depth: 64,
+            default_deadline_ms: 250,
+            max_deadline_ms: 5_000,
+            max_head_bytes: 8 * 1024,
+            io_timeout_ms: 2_000,
+            reload_poll_ms: 200,
+            job: "serve".to_string(),
+            max_k: 100,
+        }
+    }
+}
+
+impl Config {
+    /// `Default`, then applies the [`DEADLINE_ENV`] override if set to a
+    /// parseable non-zero millisecond count.
+    pub fn from_env() -> Self {
+        let mut config = Config::default();
+        if let Some(ms) = std::env::var(DEADLINE_ENV)
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .filter(|&ms| ms > 0)
+        {
+            config.default_deadline_ms = ms;
+        }
+        config
+    }
+}
+
+/// One immutable generation of servable state. Swapped atomically under
+/// the snapshot mutex; `stale` flips to true (without a swap) when a newer
+/// on-disk generation exists but failed validation.
+struct Snapshot {
+    set: EmbeddingSet,
+    generation: u64,
+    stale: AtomicBool,
+}
+
+/// State shared by the accept, worker, and reload threads.
+struct Shared {
+    config: Config,
+    store: Store,
+    snapshot: Mutex<Option<Arc<Snapshot>>>,
+    stop: AtomicBool,
+}
+
+impl Shared {
+    fn current(&self) -> Option<Arc<Snapshot>> {
+        self.snapshot.lock().expect("snapshot lock").clone()
+    }
+
+    /// Polls the store once and applies whatever it finds. Called at
+    /// startup and from the reload loop; returns whether a swap happened.
+    fn reload_once(&self) -> bool {
+        // Watch BEFORE loading: load_latest quarantines corrupt frames,
+        // which retroactively changes what "latest generation" means. The
+        // pre-load watch is the honest view of what the trainer published.
+        let watched = self
+            .store
+            .latest_generation(&self.config.job)
+            .unwrap_or_default();
+        let current_gen = self.current().map(|s| s.generation);
+        if watched.is_none() || watched == current_gen {
+            return false; // nothing new on disk
+        }
+        match self.try_load() {
+            Ok(Some((generation, set))) if Some(generation) != current_gen => {
+                // Loading an *older* generation than the watch saw means the
+                // newest frame failed validation and was quarantined: the
+                // snapshot serves, but flagged stale.
+                let stale = Some(generation) != watched;
+                let swapped = Arc::new(Snapshot {
+                    set,
+                    generation,
+                    stale: AtomicBool::new(stale),
+                });
+                *self.snapshot.lock().expect("snapshot lock") = Some(swapped);
+                x2v_obs::counter_add(keys::SERVE_RELOADS, 1);
+                if stale {
+                    x2v_obs::counter_add(keys::SERVE_RELOAD_REJECTED, 1);
+                }
+                true
+            }
+            Ok(_) | Err(_) => {
+                // The published generation is unreadable, corrupt, or
+                // degrades to the generation already being served: keep the
+                // last good snapshot and flag it stale.
+                x2v_obs::counter_add(keys::SERVE_RELOAD_REJECTED, 1);
+                if let Some(snap) = self.current() {
+                    snap.stale.store(true, Ordering::Relaxed);
+                }
+                false
+            }
+        }
+    }
+
+    /// Loads and validates the newest loadable generation, honouring the
+    /// `corrupt@serve/frame` injection point.
+    fn try_load(&self) -> Result<Option<(u64, EmbeddingSet)>, GuardError> {
+        let Some((generation, mut payload)) =
+            self.store.load_latest(&self.config.job, ARTIFACT_KIND)?
+        else {
+            return Ok(None);
+        };
+        if let Some(SocketFaultKind::Corrupt) = faults::socket_fault(FRAME_SITE) {
+            if let Some(byte) = payload.first_mut() {
+                *byte ^= 0xFF;
+            }
+        }
+        let set = EmbeddingSet::decode(&payload)?;
+        Ok(Some((generation, set)))
+    }
+}
+
+/// A running daemon. Dropping it without [`shutdown`](Server::shutdown)
+/// leaks the threads until process exit; call `shutdown` for a clean join.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    reloader: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, performs the initial artifact load (a missing or corrupt
+    /// artifact is NOT fatal — the server starts not-ready and the reload
+    /// loop keeps trying), and spawns the thread pool.
+    pub fn start(config: Config, store: Store) -> Result<Server, GuardError> {
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| GuardError::storage(READ_SITE, format!("bind {}: {e}", config.addr)))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| GuardError::storage(READ_SITE, format!("local_addr: {e}")))?;
+        let shared = Arc::new(Shared {
+            config,
+            store,
+            snapshot: Mutex::new(None),
+            stop: AtomicBool::new(false),
+        });
+        shared.reload_once();
+
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(shared.config.queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..shared.config.workers.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&rx, &shared))
+            })
+            .collect();
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &tx, &shared))
+        };
+        let reloader = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || reload_loop(&shared))
+        };
+        Ok(Server {
+            addr,
+            shared,
+            accept: Some(accept),
+            workers,
+            reloader: Some(reloader),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains in-flight work, and joins every thread.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection; it checks
+        // the stop flag before forwarding anything.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(h) = self.reloader.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, tx: &SyncSender<TcpStream>, shared: &Shared) {
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break; // the wake-up connection (or a straggler) is dropped
+        }
+        let Ok(stream) = stream else { continue };
+        match tx.try_send(stream) {
+            Ok(()) => {}
+            Err(TrySendError::Full(stream)) | Err(TrySendError::Disconnected(stream)) => {
+                shed(stream, shared);
+            }
+        }
+    }
+    // tx drops here; workers drain the queue and exit.
+}
+
+/// The load-shedding path: a fast, bounded-time 429 written straight from
+/// the accept thread so a full queue costs microseconds, not a worker.
+fn shed(mut stream: TcpStream, shared: &Shared) {
+    x2v_obs::counter_add(keys::SERVE_SHED, 1);
+    x2v_obs::mark("serve/shed");
+    let timeout = Duration::from_millis(shared.config.io_timeout_ms.clamp(1, 100));
+    let _ = stream.set_write_timeout(Some(timeout));
+    let _ = http::write_error(&mut stream, &ServeError::Overloaded);
+}
+
+fn worker_loop(rx: &Arc<Mutex<Receiver<TcpStream>>>, shared: &Shared) {
+    loop {
+        let next = rx.lock().expect("worker queue lock").recv();
+        match next {
+            Ok(stream) => handle_connection(stream, shared),
+            Err(_) => return, // accept loop gone, queue drained
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    let started = Instant::now();
+    // Injected socket faults fire before any real I/O, so the drills are
+    // deterministic regardless of what bytes the peer actually sent.
+    match faults::socket_fault(READ_SITE) {
+        Some(SocketFaultKind::ConnDrop) => {
+            x2v_obs::counter_add(keys::SERVE_CONN_DROPPED, 1);
+            return; // dropping the stream resets the connection
+        }
+        Some(SocketFaultKind::SlowRead) => {
+            // The peer stalls: burn the read window, then answer exactly
+            // like a real timeout would.
+            std::thread::sleep(Duration::from_millis(shared.config.io_timeout_ms.min(200)));
+            respond_error(&mut stream, &ServeError::SlowClient, shared);
+            observe_latency(started);
+            return;
+        }
+        _ => {}
+    }
+    let io_timeout = Duration::from_millis(shared.config.io_timeout_ms.max(1));
+    let _ = stream.set_read_timeout(Some(io_timeout));
+    let _ = stream.set_write_timeout(Some(io_timeout));
+
+    match http::read_request(&mut stream, shared.config.max_head_bytes) {
+        Ok(request) => match route(&request, shared, started) {
+            Ok(body) => {
+                x2v_obs::counter_add(keys::SERVE_REQUESTS, 1);
+                if let Err(e) = http::write_response(&mut stream, 200, "OK", false, body.as_bytes())
+                {
+                    let _ = e;
+                    x2v_obs::counter_add(keys::SERVE_CONN_DROPPED, 1);
+                }
+            }
+            Err(err) => {
+                x2v_obs::counter_add(keys::SERVE_REQUESTS, 1);
+                respond_error(&mut stream, &err, shared);
+            }
+        },
+        Err(err) => respond_error(&mut stream, &err, shared),
+    }
+    observe_latency(started);
+}
+
+fn observe_latency(started: Instant) {
+    x2v_obs::observe(
+        keys::SERVE_LATENCY_MS,
+        started.elapsed().as_secs_f64() * 1e3,
+    );
+}
+
+fn respond_error(stream: &mut TcpStream, err: &ServeError, shared: &Shared) {
+    x2v_obs::counter_add(keys::SERVE_ERRORS, 1);
+    if matches!(err, ServeError::DeadlineExceeded { .. }) {
+        x2v_obs::counter_add(keys::SERVE_DEADLINE_TRIPS, 1);
+    }
+    let timeout = Duration::from_millis(shared.config.io_timeout_ms.clamp(1, 500));
+    let _ = stream.set_write_timeout(Some(timeout));
+    if http::write_error(stream, err).is_err() {
+        x2v_obs::counter_add(keys::SERVE_CONN_DROPPED, 1);
+    }
+}
+
+/// Routes a parsed request to a JSON body, or a typed error.
+fn route(request: &Request, shared: &Shared, started: Instant) -> Result<String, ServeError> {
+    match request.path.as_str() {
+        "/health" => Ok("{\"status\": \"ok\"}".to_string()),
+        "/ready" => {
+            let snap = shared
+                .current()
+                .ok_or_else(|| ServeError::unavailable("no servable snapshot loaded yet"))?;
+            Ok(format!(
+                "{{\"ready\": true, \"generation\": {}, \"stale\": {}}}",
+                snap.generation,
+                snap.stale.load(Ordering::Relaxed)
+            ))
+        }
+        path if path.starts_with("/embed/") => {
+            let id = &path["/embed/".len()..];
+            if id.is_empty() {
+                return Err(ServeError::bad_request("missing embedding id in path"));
+            }
+            let snap = servable(shared)?;
+            let vector = snap
+                .set
+                .vector(id)
+                .ok_or_else(|| ServeError::not_found(format!("embedding id {id:?}")))?;
+            let values: Vec<String> = vector.iter().map(|v| format_f64(*v)).collect();
+            Ok(format!(
+                "{{\"id\": \"{}\", \"generation\": {}, \"stale\": {}, \"vector\": [{}]}}",
+                x2v_obs::json_escape(id),
+                snap.generation,
+                snap.stale.load(Ordering::Relaxed),
+                values.join(", ")
+            ))
+        }
+        "/similar" => {
+            let id = request
+                .param("id")
+                .ok_or_else(|| ServeError::bad_request("missing required parameter id"))?
+                .to_string();
+            let k = request
+                .u64_param("k")?
+                .unwrap_or(10)
+                .min(shared.config.max_k as u64) as usize;
+            let budget = request_budget(request, shared, started)?;
+            let snap = servable(shared)?;
+            let hits = snap.set.top_k(&id, k, &budget)?;
+            let rendered: Vec<String> = hits
+                .iter()
+                .map(|h| {
+                    format!(
+                        "{{\"id\": \"{}\", \"score\": {}}}",
+                        x2v_obs::json_escape(&h.id),
+                        format_f64(h.score)
+                    )
+                })
+                .collect();
+            Ok(format!(
+                "{{\"id\": \"{}\", \"k\": {k}, \"generation\": {}, \"stale\": {}, \"hits\": [{}]}}",
+                x2v_obs::json_escape(&id),
+                snap.generation,
+                snap.stale.load(Ordering::Relaxed),
+                rendered.join(", ")
+            ))
+        }
+        other => Err(ServeError::not_found(format!("path {other:?}"))),
+    }
+}
+
+/// The current snapshot, with stale serves counted — the graceful
+/// degradation signal: requests keep being answered, observably.
+fn servable(shared: &Shared) -> Result<Arc<Snapshot>, ServeError> {
+    let snap = shared
+        .current()
+        .ok_or_else(|| ServeError::unavailable("no servable snapshot loaded yet"))?;
+    if snap.stale.load(Ordering::Relaxed) {
+        x2v_obs::counter_add(keys::SERVE_STALE, 1);
+    }
+    Ok(snap)
+}
+
+/// Builds the per-request budget: client `deadline_ms` capped server-side,
+/// falling back to the configured default, anchored at accept time so
+/// queue wait counts against the deadline.
+fn request_budget(
+    request: &Request,
+    shared: &Shared,
+    started: Instant,
+) -> Result<Budget, ServeError> {
+    let requested = request.u64_param("deadline_ms")?;
+    let deadline_ms = requested
+        .unwrap_or(shared.config.default_deadline_ms)
+        .min(shared.config.max_deadline_ms);
+    let elapsed_ms = started.elapsed().as_millis() as u64;
+    if elapsed_ms >= deadline_ms {
+        return Err(ServeError::DeadlineExceeded {
+            elapsed_ms: Some(elapsed_ms),
+        });
+    }
+    Ok(Budget::unlimited().with_deadline_ms(deadline_ms - elapsed_ms))
+}
+
+/// JSON-safe float rendering (total: NaN/inf become null).
+fn format_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn reload_loop(shared: &Shared) {
+    let slice = Duration::from_millis(10);
+    let mut elapsed = Duration::ZERO;
+    let poll_every = Duration::from_millis(shared.config.reload_poll_ms.max(1));
+    while !shared.stop.load(Ordering::SeqCst) {
+        std::thread::sleep(slice.min(poll_every));
+        elapsed += slice;
+        if elapsed >= poll_every {
+            elapsed = Duration::ZERO;
+            shared.reload_once();
+        }
+    }
+}
+
+/// Publishes `set` to `store` under `job` as the next generation — the
+/// trainer-side half of the serving contract, also used by the load
+/// generator and the fault drills.
+pub fn publish(store: &Store, job: &str, set: &EmbeddingSet) -> Result<u64, GuardError> {
+    store.save(job, ARTIFACT_KIND, &set.encode())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_env_override_applies() {
+        // Process-global env: single test, set + unset within it.
+        std::env::set_var(DEADLINE_ENV, "75");
+        assert_eq!(Config::from_env().default_deadline_ms, 75);
+        std::env::set_var(DEADLINE_ENV, "not-a-number");
+        assert_eq!(
+            Config::from_env().default_deadline_ms,
+            Config::default().default_deadline_ms
+        );
+        std::env::remove_var(DEADLINE_ENV);
+        assert_eq!(
+            Config::from_env().default_deadline_ms,
+            Config::default().default_deadline_ms
+        );
+    }
+
+    #[test]
+    fn format_f64_is_json_safe() {
+        assert_eq!(format_f64(1.5), "1.5");
+        assert_eq!(format_f64(f64::NAN), "null");
+        assert_eq!(format_f64(f64::INFINITY), "null");
+    }
+}
