@@ -68,6 +68,58 @@ fn bench_enabled_span(c: &mut Criterion) {
     x2v_obs::reset();
 }
 
+fn bench_windowed_record(c: &mut Criterion) {
+    // Disabled, a windowed record must stay on the same one-atomic-load
+    // fast path as everything else in x2v-obs.
+    x2v_obs::set_enabled(false);
+    c.bench_function("obs_windowed_counter_disabled", |b| {
+        b.iter(|| x2v_obs::windowed_counter_add(black_box("bench/w_disabled"), 1))
+    });
+    let reps: u32 = 2_000_000;
+    for _ in 0..reps / 10 {
+        x2v_obs::windowed_counter_add(black_box("bench/w_disabled"), 1);
+    }
+    let start = Instant::now();
+    for _ in 0..reps {
+        x2v_obs::windowed_counter_add(black_box("bench/w_disabled"), 1);
+    }
+    let per_call_ns = start.elapsed().as_nanos() as f64 / reps as f64;
+    println!("disabled windowed counter: {per_call_ns:.2} ns/call");
+    assert!(
+        per_call_ns < 10.0,
+        "disabled windowed record costs {per_call_ns:.2} ns/call (budget 10 ns)"
+    );
+
+    // Enabled, it is two uncontended mutex-protected hash updates
+    // (lifetime registry + current window bucket). That belongs at
+    // request granularity, so budget single-digit microseconds with
+    // generous headroom for shared-machine noise.
+    x2v_obs::set_enabled(true);
+    c.bench_function("obs_windowed_counter_enabled", |b| {
+        b.iter(|| x2v_obs::windowed_counter_add(black_box("bench/w_enabled"), 1))
+    });
+    c.bench_function("obs_windowed_observe_enabled", |b| {
+        b.iter(|| x2v_obs::windowed_observe(black_box("bench/w_hist"), black_box(1.5)))
+    });
+    let reps: u32 = 200_000;
+    for _ in 0..reps / 10 {
+        x2v_obs::windowed_observe(black_box("bench/w_hist"), black_box(1.5));
+    }
+    let start = Instant::now();
+    for _ in 0..reps {
+        x2v_obs::windowed_observe(black_box("bench/w_hist"), black_box(1.5));
+    }
+    let per_call_us = start.elapsed().as_secs_f64() * 1e6 / reps as f64;
+    println!("enabled windowed observe: {per_call_us:.3} µs/call");
+    assert!(
+        per_call_us < 10.0,
+        "enabled windowed record costs {per_call_us:.3} µs/call (budget 10 µs)"
+    );
+    x2v_obs::set_enabled(false);
+    x2v_obs::reset();
+    x2v_obs::global_window().reset();
+}
+
 fn gram_secs(graphs: &[x2v_graph::Graph], reps: usize) -> f64 {
     let start = Instant::now();
     for _ in 0..reps {
@@ -122,6 +174,7 @@ criterion_group!(
     benches,
     bench_disabled_span,
     bench_enabled_span,
+    bench_windowed_record,
     bench_instrumented_gram
 );
 criterion_main!(benches);

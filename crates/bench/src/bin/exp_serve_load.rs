@@ -14,6 +14,14 @@
 //! run with `X2V_FAULTS=conndrop@serve/read` (etc.) to watch the retry
 //! machinery absorb injected failures; the CI `serve-smoke` job does
 //! exactly that. `X2V_OBS=json` lands everything in the run report.
+//!
+//! With obs on, the run also *scrapes its own daemon* after the load
+//! completes: `/metrics` must expose a populated windowed latency series
+//! whose p99 is consistent with the client-observed latencies, and
+//! `/stats` must answer the stats schema — the live-telemetry acceptance
+//! check. `--hold-secs N` keeps the daemon serving for N extra seconds
+//! after the load (so external harnesses can scrape it or SIGKILL the
+//! process mid-serve to prove the periodic snapshot survives).
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -78,9 +86,6 @@ fn run() -> Result<(), GuardError> {
         let s = h.join().expect("client thread");
         stats.merge(s);
     }
-    server.shutdown();
-    let _ = std::fs::remove_dir_all(&root);
-
     stats.latencies_ms.sort_by(f64::total_cmp);
     let pick = |q: f64| -> f64 {
         if stats.latencies_ms.is_empty() {
@@ -89,6 +94,51 @@ fn run() -> Result<(), GuardError> {
         let idx = ((stats.latencies_ms.len() as f64 - 1.0) * q).round() as usize;
         stats.latencies_ms[idx]
     };
+
+    // Live scrape of the still-serving daemon: the windowed series must
+    // reflect the load that just ran, and the server-side windowed p99
+    // must be consistent with what the clients measured (server latency is
+    // a subset of client latency, which adds connect time and retries).
+    if x2v_obs::enabled() {
+        let (status, metrics_text) = fetch(addr, "/metrics").unwrap_or((0, String::new()));
+        assert_eq!(status, 200, "/metrics scrape failed:\n{metrics_text}");
+        let (status, stats_json) = fetch(addr, "/stats").unwrap_or((0, String::new()));
+        assert_eq!(status, 200, "/stats scrape failed:\n{stats_json}");
+        assert!(
+            stats_json.contains("\"schema\": \"x2v-serve-stats/v1\""),
+            "{stats_json}"
+        );
+        assert!(stats_json.contains("\"x2v-obs/v2\""), "{stats_json}");
+        let w_count = prom_value(&metrics_text, "x2v_serve_latency_ms_w60s_count").unwrap_or(0.0);
+        let w_p99 = prom_value(
+            &metrics_text,
+            "x2v_serve_latency_ms_w60s{quantile=\"0.99\"}",
+        );
+        assert!(
+            w_count > 0.0,
+            "windowed latency series empty under load:\n{metrics_text}"
+        );
+        let w_p99 = w_p99.expect("windowed p99 missing from /metrics");
+        let client_max = stats.latencies_ms.last().copied().unwrap_or(0.0);
+        assert!(
+            w_p99 <= client_max * 2.0 + 100.0,
+            "server windowed p99 {w_p99:.2} ms inconsistent with client max {client_max:.2} ms"
+        );
+        println!(
+            "live scrape: w60s latency count {w_count:.0}, p99 {w_p99:.2} ms \
+             (client max {client_max:.2} ms)\n"
+        );
+    }
+
+    if a.hold_secs > 0 {
+        println!(
+            "holding the daemon for {} s (scrape/kill window)…",
+            a.hold_secs
+        );
+        std::thread::sleep(Duration::from_secs(a.hold_secs));
+    }
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
 
     const W: &[usize] = &[28, 24];
     print_header(&["metric", "value"], W);
@@ -210,6 +260,40 @@ fn client(
     stats
 }
 
+/// Full HTTP GET: returns `(status, body)` for the scrape assertions.
+fn fetch(addr: std::net::SocketAddr, path: &str) -> Result<(u16, String), ()> {
+    let mut stream = TcpStream::connect(addr).map_err(|_| ())?;
+    let timeout = Some(Duration::from_secs(2));
+    let _ = stream.set_read_timeout(timeout);
+    let _ = stream.set_write_timeout(timeout);
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: x2v\r\n\r\n").as_bytes())
+        .map_err(|_| ())?;
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).map_err(|_| ())?;
+    let text = String::from_utf8_lossy(&response).into_owned();
+    let status = text
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest.split(' ').next())
+        .and_then(|s| s.parse().ok())
+        .ok_or(())?;
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+/// The value of the first exposition line that starts with `series`
+/// (metric name, or name + label set) followed by a space.
+fn prom_value(text: &str, series: &str) -> Option<f64> {
+    text.lines().find_map(|l| {
+        l.strip_prefix(series)
+            .and_then(|rest| rest.strip_prefix(' '))
+            .and_then(|v| v.trim().parse().ok())
+    })
+}
+
 /// Minimal HTTP GET: returns the status code, `Err(())` on any transport
 /// failure (treated as retryable — the daemon may have dropped us).
 fn get(addr: std::net::SocketAddr, path: &str) -> Result<u16, ()> {
@@ -238,10 +322,11 @@ struct Args {
     vectors: usize,
     workers: usize,
     queue: usize,
+    hold_secs: u64,
 }
 
-/// `--clients N --requests N --dim D --vectors N --workers N --queue N`,
-/// defaults (4, 50, 16, 400, 2, 8).
+/// `--clients N --requests N --dim D --vectors N --workers N --queue N
+/// --hold-secs N`, defaults (4, 50, 16, 400, 2, 8, 0).
 fn args() -> Args {
     let mut parsed = Args {
         clients: 4,
@@ -250,6 +335,7 @@ fn args() -> Args {
         vectors: 400,
         workers: 2,
         queue: 8,
+        hold_secs: 0,
     };
     let mut args = std::env::args();
     while let Some(a) = args.next() {
@@ -265,6 +351,11 @@ fn args() -> Args {
             "--vectors" => grab(&mut parsed.vectors),
             "--workers" => grab(&mut parsed.workers),
             "--queue" => grab(&mut parsed.queue),
+            "--hold-secs" => {
+                let mut v = 0usize;
+                grab(&mut v);
+                parsed.hold_secs = v as u64;
+            }
             _ => {}
         }
     }

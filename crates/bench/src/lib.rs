@@ -91,7 +91,10 @@ impl Drop for ObsRun {
         let wall_ms = u64::try_from(self.start.elapsed().as_millis()).unwrap_or(u64::MAX);
         x2v_obs::counter_add("run/wall_ms", wall_ms);
         if let Some(rss) = peak_rss_bytes() {
-            x2v_obs::counter_add("run/peak_rss_bytes", rss);
+            // counter_max, not counter_add: a live flusher (x2v-serve's
+            // snapshot thread) may already have sampled the high-water
+            // mark during the run.
+            x2v_obs::counter_max("run/peak_rss_bytes", rss);
         }
         if x2v_prof::alloc_counting_enabled() {
             let a = x2v_prof::alloc_snapshot();
@@ -110,26 +113,10 @@ impl Drop for ObsRun {
     }
 }
 
-/// Peak resident set size of this process in bytes, from `VmHWM` in
-/// `/proc/self/status`. `None` on platforms without procfs (the caller
-/// silently skips the metric there) or if the field is absent.
-pub fn peak_rss_bytes() -> Option<u64> {
-    #[cfg(target_os = "linux")]
-    {
-        let status = std::fs::read_to_string("/proc/self/status").ok()?;
-        for line in status.lines() {
-            if let Some(rest) = line.strip_prefix("VmHWM:") {
-                let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
-                return Some(kb * 1024);
-            }
-        }
-        None
-    }
-    #[cfg(not(target_os = "linux"))]
-    {
-        None
-    }
-}
+/// Peak resident set size of this process in bytes. Moved to
+/// [`x2v_obs::peak_rss_bytes`] so live snapshot flushers below the bench
+/// layer can sample it too; this re-export keeps existing callers working.
+pub use x2v_obs::peak_rss_bytes;
 
 /// Resolves the budget escape hatch: `--budget-ms N` (also `--budget-ms=N`)
 /// beats `X2V_BUDGET_MS=N`; absent or unparsable means no budget.

@@ -1,0 +1,78 @@
+//! Proves the "a SIGKILL'd daemon leaves telemetry" acceptance criterion
+//! end to end: runs `exp_serve_load` as a child process with a 1-second
+//! obs-snapshot flush, waits for the first snapshot to land, SIGKILLs the
+//! daemon while it is still serving (`--hold-secs` keeps it alive), and
+//! asserts the on-disk snapshot is complete, parseable JSON carrying the
+//! serving counters — i.e. the periodic atomic flush, not the orderly
+//! exit path, is what persisted it.
+
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+use x2v_prof::json::JsonValue;
+
+#[test]
+fn sigkilled_daemon_leaves_a_parseable_obs_snapshot() {
+    let dir = std::env::temp_dir().join(format!("x2v-kill-drill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_exp_serve_load"))
+        .args([
+            "--clients",
+            "2",
+            "--requests",
+            "20",
+            "--dim",
+            "4",
+            "--vectors",
+            "32",
+            "--hold-secs",
+            "120",
+        ])
+        .env("X2V_OBS", "1")
+        .env("X2V_OBS_DIR", &dir)
+        .env("X2V_OBS_FLUSH_S", "1")
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn exp_serve_load");
+
+    // The daemon flushes <X2V_OBS_DIR>/serve-live.json every second; wait
+    // for the first one, then SIGKILL mid-serve (the hold window
+    // guarantees the process did not exit cleanly on its own).
+    let snap = dir.join("serve-live.json");
+    let start = Instant::now();
+    while !snap.exists() {
+        if let Ok(Some(status)) = child.try_wait() {
+            panic!("exp_serve_load exited early ({status}) without a snapshot");
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(60),
+            "no obs snapshot appeared within 60 s"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    child.kill().expect("SIGKILL the daemon");
+    let _ = child.wait();
+
+    // The atomic writer guarantees the file is a complete report from
+    // some flush tick — never a torn prefix.
+    let json = std::fs::read_to_string(&snap).expect("snapshot readable after SIGKILL");
+    let doc = JsonValue::parse(&json).expect("snapshot parses as JSON");
+    assert_eq!(
+        doc.get("schema").and_then(|v| v.as_str()),
+        Some("x2v-obs/v2"),
+        "unexpected snapshot schema in {json}"
+    );
+    let counters = doc
+        .get("counters")
+        .and_then(|v| v.as_obj())
+        .expect("snapshot has a counters object");
+    assert!(
+        counters.iter().any(|(k, _)| k.starts_with("serve/")),
+        "snapshot carries no serving counters: {json}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

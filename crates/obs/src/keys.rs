@@ -35,3 +35,50 @@ pub const SERVE_LATENCY_MS: &str = "serve/latency_ms";
 /// Histogram: wall milliseconds per request observed *client-side* by the
 /// load generator, across retries.
 pub const SERVE_CLIENT_LATENCY_MS: &str = "serve_load/latency_ms";
+/// Histogram: accept-queue depth sampled at each accept (windowed, so
+/// `/stats` can show "queue depth over the last 10 s").
+pub const SERVE_QUEUE_DEPTH: &str = "serve/queue_depth";
+/// Requests slower than the configured slow-request threshold; each also
+/// emits a `serve/slow_request` instant to the trace ring.
+pub const SERVE_SLOW: &str = "serve/slow_requests";
+/// Periodic obs snapshots written successfully by the serve flusher.
+pub const SERVE_SNAPSHOTS: &str = "serve/snapshots_written";
+/// Periodic obs snapshot writes that failed (counted, never fatal).
+pub const SERVE_SNAPSHOT_FAILED: &str = "serve/snapshot_write_failed";
+/// High-water-mark counter: peak resident set size in bytes, sampled at
+/// exit by `ObsRun` and live by the serve flusher (`counter_max`).
+pub const RUN_PEAK_RSS: &str = "run/peak_rss_bytes";
+
+/// Per-endpoint request/error counters (windowed): one pair per routable
+/// endpoint class, so `/stats` can report per-endpoint rates. The `other`
+/// class covers unknown paths.
+pub mod endpoint {
+    /// Requests routed to `/similar`.
+    pub const REQ_SIMILAR: &str = "serve/req/similar";
+    /// Errors from `/similar`.
+    pub const ERR_SIMILAR: &str = "serve/err/similar";
+    /// Requests routed to `/embed/<id>`.
+    pub const REQ_EMBED: &str = "serve/req/embed";
+    /// Errors from `/embed/<id>`.
+    pub const ERR_EMBED: &str = "serve/err/embed";
+    /// Requests routed to `/health`.
+    pub const REQ_HEALTH: &str = "serve/req/health";
+    /// Errors from `/health`.
+    pub const ERR_HEALTH: &str = "serve/err/health";
+    /// Requests routed to `/ready`.
+    pub const REQ_READY: &str = "serve/req/ready";
+    /// Errors from `/ready`.
+    pub const ERR_READY: &str = "serve/err/ready";
+    /// Requests routed to `/metrics`.
+    pub const REQ_METRICS: &str = "serve/req/metrics";
+    /// Errors from `/metrics`.
+    pub const ERR_METRICS: &str = "serve/err/metrics";
+    /// Requests routed to `/stats`.
+    pub const REQ_STATS: &str = "serve/req/stats";
+    /// Errors from `/stats`.
+    pub const ERR_STATS: &str = "serve/err/stats";
+    /// Requests to unknown paths (and unparseable requests).
+    pub const REQ_OTHER: &str = "serve/req/other";
+    /// Errors from unknown paths (and parse rejects).
+    pub const ERR_OTHER: &str = "serve/err/other";
+}

@@ -57,11 +57,13 @@ pub mod keys;
 mod progress;
 mod registry;
 mod report;
+pub mod window;
 
 pub use fsio::atomic_write;
 pub use progress::{progress, set_progress_handler, ProgressEvent};
-pub use registry::{HistSnapshot, Registry, SpanSnapshot};
+pub use registry::{HistSnapshot, Histogram, Registry, SpanSnapshot};
 pub use report::{json_escape, Report};
+pub use window::{Window, WindowSnapshot, DEFAULT_WINDOW_S, WINDOW_ENV};
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -291,6 +293,66 @@ pub fn counter_add(name: &'static str, delta: u64) {
 pub fn observe(name: &'static str, value: f64) {
     if enabled() {
         GLOBAL.observe(name, value);
+    }
+}
+
+/// Raises counter `name` to `value` if it is currently lower (high-water
+/// mark; idempotent, safe to call from a periodic sampler).
+#[inline]
+pub fn counter_max(name: &'static str, value: u64) {
+    if enabled() {
+        GLOBAL.counter_max(name, value);
+    }
+}
+
+/// The process-global window ring (see [`window`]). Metrics land in it via
+/// [`windowed_counter_add`] / [`windowed_observe`]; readers merge it with
+/// [`Window::merged`].
+pub fn global_window() -> &'static Window {
+    window::global_window()
+}
+
+/// Adds `delta` to counter `name` in **both** the lifetime registry and
+/// the current window bucket, so the metric can be read as "last N
+/// seconds" *and* "since start". One relaxed atomic load when disabled.
+#[inline]
+pub fn windowed_counter_add(name: &'static str, delta: u64) {
+    if enabled() {
+        GLOBAL.counter_add(name, delta);
+        window::global_window().counter_add(name, delta);
+    }
+}
+
+/// Records one observation into histogram `name` in **both** the lifetime
+/// registry and the current window bucket. One relaxed atomic load when
+/// disabled.
+#[inline]
+pub fn windowed_observe(name: &'static str, value: f64) {
+    if enabled() {
+        GLOBAL.observe(name, value);
+        window::global_window().observe(name, value);
+    }
+}
+
+/// Peak resident set size of this process in bytes, from `VmHWM` in
+/// `/proc/self/status`. `None` on platforms without procfs or if the field
+/// is absent. Lives here (the bottom of the crate stack) so both the
+/// exit-time `ObsRun` guard and live snapshot flushers can sample it.
+pub fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+                return Some(kb * 1024);
+            }
+        }
+        None
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
     }
 }
 

@@ -23,8 +23,16 @@ struct SpanStat {
     max_ns: u64,
 }
 
+/// A fixed-memory log2-bucket histogram: the aggregation primitive behind
+/// [`Registry::observe`] and the windowed ring in [`crate::window`].
+///
+/// Memory is constant (64 inline buckets plus four scalars), so a
+/// histogram can be [`reset`](Histogram::reset) and reused forever without
+/// a single allocation — the property the window ring's bucket rotation
+/// relies on. Percentiles are estimated at snapshot time from the buckets
+/// (see [`HistSnapshot`]).
 #[derive(Clone, Debug)]
-struct HistStat {
+pub struct Histogram {
     count: u64,
     sum: f64,
     min: f64,
@@ -32,6 +40,84 @@ struct HistStat {
     /// Fixed log2 buckets for percentile estimation — no raw-sample
     /// retention, so memory per histogram is constant.
     buckets: [u64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: [0; BUCKETS],
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[bucket_index(value)] += 1;
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Zeroes the histogram in place. No allocation is touched — the
+    /// bucket array is inline — so resetting is a bounded, alloc-free
+    /// operation suitable for window-bucket rotation on a hot path.
+    pub fn reset(&mut self) {
+        self.count = 0;
+        self.sum = 0.0;
+        self.min = f64::INFINITY;
+        self.max = f64::NEG_INFINITY;
+        self.buckets = [0; BUCKETS];
+    }
+
+    /// Accumulates `other` into `self` (bucket-wise sum, envelope union) —
+    /// the merge step that turns per-second window buckets into a
+    /// "last N seconds" aggregate.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+
+    /// The percentile-bearing summary of the current contents.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let (min, max) = if self.count == 0 {
+            (0.0, 0.0)
+        } else {
+            (self.min, self.max)
+        };
+        HistSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min,
+            max,
+            p50: percentile_from_buckets(&self.buckets, self.count, min, max, 50.0),
+            p90: percentile_from_buckets(&self.buckets, self.count, min, max, 90.0),
+            p99: percentile_from_buckets(&self.buckets, self.count, min, max, 99.0),
+        }
+    }
 }
 
 /// Maps a value to its log2 bucket. Non-finite and non-positive values land
@@ -92,7 +178,7 @@ fn percentile_from_buckets(
 struct Inner {
     spans: HashMap<String, SpanStat>,
     counters: HashMap<String, u64>,
-    histograms: HashMap<String, HistStat>,
+    histograms: HashMap<String, Histogram>,
 }
 
 /// Aggregated span statistics, as exposed in snapshots and reports.
@@ -230,30 +316,29 @@ impl Registry {
         }
     }
 
+    /// Raises counter `name` to `value` if it is currently lower — the
+    /// high-water-mark update (peak RSS, peak queue depth). Unlike
+    /// [`Registry::counter_add`] this is idempotent, so a periodic sampler
+    /// can call it every tick without inflating the value.
+    pub fn counter_max(&self, name: &str, value: u64) {
+        let mut inner = self.lock();
+        match inner.counters.get_mut(name) {
+            Some(c) => *c = (*c).max(value),
+            None => {
+                inner.counters.insert(name.to_string(), value);
+            }
+        }
+    }
+
     /// Records one observation of `value` into histogram `name`.
     pub fn observe(&self, name: &str, value: f64) {
         let mut inner = self.lock();
         match inner.histograms.get_mut(name) {
-            Some(h) => {
-                h.count += 1;
-                h.sum += value;
-                h.min = h.min.min(value);
-                h.max = h.max.max(value);
-                h.buckets[bucket_index(value)] += 1;
-            }
+            Some(h) => h.record(value),
             None => {
-                let mut buckets = [0u64; BUCKETS];
-                buckets[bucket_index(value)] = 1;
-                inner.histograms.insert(
-                    name.to_string(),
-                    HistStat {
-                        count: 1,
-                        sum: value,
-                        min: value,
-                        max: value,
-                        buckets,
-                    },
-                );
+                let mut h = Histogram::new();
+                h.record(value);
+                inner.histograms.insert(name.to_string(), h);
             }
         }
     }
@@ -300,20 +385,7 @@ impl Registry {
         let hists = inner
             .histograms
             .iter()
-            .map(|(k, h)| {
-                (
-                    k.clone(),
-                    HistSnapshot {
-                        count: h.count,
-                        sum: h.sum,
-                        min: h.min,
-                        max: h.max,
-                        p50: percentile_from_buckets(&h.buckets, h.count, h.min, h.max, 50.0),
-                        p90: percentile_from_buckets(&h.buckets, h.count, h.min, h.max, 90.0),
-                        p99: percentile_from_buckets(&h.buckets, h.count, h.min, h.max, 99.0),
-                    },
-                )
-            })
+            .map(|(k, h)| (k.clone(), h.snapshot()))
             .collect();
         (spans, counters, hists)
     }
@@ -412,6 +484,49 @@ mod tests {
         assert!((h.p99 - 990.0).abs() < 120.0, "p99 = {}", h.p99);
         assert!(h.p50 <= h.p90 && h.p90 <= h.p99);
         assert!(h.p99 <= h.max);
+    }
+
+    #[test]
+    fn counter_max_is_a_high_water_mark() {
+        let r = Registry::new();
+        r.counter_max("hwm", 10);
+        r.counter_max("hwm", 7);
+        r.counter_max("hwm", 12);
+        r.counter_max("hwm", 12);
+        let (_, counters, _) = r.snapshot();
+        assert_eq!(counters[0].1, 12);
+    }
+
+    #[test]
+    fn histogram_reset_and_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [1.0, 2.0, 4.0] {
+            a.record(v);
+        }
+        for v in [8.0, 16.0] {
+            b.record(v);
+        }
+        a.merge(&b);
+        let s = a.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 16.0);
+        assert!((s.sum - 31.0).abs() < 1e-12);
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max);
+
+        a.reset();
+        let s = a.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 0.0);
+        assert_eq!(s.p99, 0.0);
+        // Merging an empty histogram is a no-op on the envelope.
+        let mut c = Histogram::new();
+        c.record(3.0);
+        c.merge(&a);
+        assert_eq!(c.snapshot().min, 3.0);
+        assert_eq!(c.snapshot().count, 1);
     }
 
     #[test]

@@ -211,16 +211,14 @@ impl Report {
         out
     }
 
-    /// Writes the JSON report to `<dir>/<run>.json` where `<dir>` is
-    /// `$X2V_OBS_DIR` or `target/obs`. Creates the directory; sanitises the
-    /// run name into a safe filename. The write is atomic
-    /// ([`crate::fsio::atomic_write`]): a crash mid-write can never leave a
-    /// torn report behind. Returns the path written.
-    pub fn write_json_file(&self) -> std::io::Result<PathBuf> {
+    /// The canonical on-disk location for this report:
+    /// `<$X2V_OBS_DIR | target/obs>/<sanitised run>.json`. Exposed so
+    /// periodic flushers (x2v-serve's snapshot thread) can write the same
+    /// path through their own (fault-injectable) atomic writer.
+    pub fn default_path(&self) -> PathBuf {
         let dir = std::env::var("X2V_OBS_DIR")
             .map(PathBuf::from)
             .unwrap_or_else(|_| PathBuf::from("target").join("obs"));
-        std::fs::create_dir_all(&dir)?;
         let safe: String = self
             .run
             .chars()
@@ -232,7 +230,18 @@ impl Report {
                 }
             })
             .collect();
-        let path = dir.join(format!("{safe}.json"));
+        dir.join(format!("{safe}.json"))
+    }
+
+    /// Writes the JSON report to [`Report::default_path`]. Creates the
+    /// directory. The write is atomic ([`crate::fsio::atomic_write`]): a
+    /// crash mid-write can never leave a torn report behind. Returns the
+    /// path written.
+    pub fn write_json_file(&self) -> std::io::Result<PathBuf> {
+        let path = self.default_path();
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
         crate::fsio::atomic_write(&path, self.to_json().as_bytes())?;
         Ok(path)
     }

@@ -1,0 +1,158 @@
+//! Structured single-line access-log records.
+//!
+//! Every response the daemon cannot answer normally — guard trips
+//! (deadline 504), sheds (429), parse rejects (400/405/408/413), missing
+//! data (404/503), internal failures (5xx) — emits exactly one line to
+//! stderr, so any failing response is attributable to a request id after
+//! the fact. Successful 2xx responses are *not* logged (a daemon under
+//! load would drown stderr); their aggregate story lives in the windowed
+//! metrics behind `/metrics` and `/stats`.
+//!
+//! ## Line schema (stable, machine-parseable)
+//!
+//! ```text
+//! x2v-access id=<u64> endpoint=<path|-> status=<u16> latency_ms=<f.3> deadline_remaining_ms=<u64|-> err="<escaped>"
+//! ```
+//!
+//! Fields are space-separated `key=value` tokens in fixed order. The
+//! endpoint is the request path truncated to 128 bytes with control and
+//! space characters replaced by `_` (attacker-controlled input must not be
+//! able to forge extra tokens or line breaks); `-` stands for "unknown"
+//! (the request never parsed). The `err` value is the typed error's
+//! Display, quote-escaped. The schema is documented in
+//! `docs/observability.md` and golden-tested here.
+
+use std::fmt::Write as _;
+
+/// One access-log record, rendered by [`AccessRecord::render`].
+#[derive(Clone, Debug)]
+pub struct AccessRecord<'a> {
+    /// The request id assigned at accept time.
+    pub id: u64,
+    /// The request path, when the request parsed (`None` → `-`).
+    pub endpoint: Option<&'a str>,
+    /// The HTTP status that was (attempted to be) written.
+    pub status: u16,
+    /// Wall milliseconds from accept to response.
+    pub latency_ms: f64,
+    /// Milliseconds left on the request deadline when the response was
+    /// written (`None` when no deadline applied, e.g. parse rejects).
+    pub deadline_remaining_ms: Option<u64>,
+    /// The typed error's message, when the response was an error.
+    pub err: Option<&'a str>,
+}
+
+/// Sanitises an attacker-controlled token for the single-line format:
+/// control characters, spaces, `"` and `=` become `_`; output is truncated
+/// to 128 bytes.
+fn sanitize(raw: &str) -> String {
+    raw.chars()
+        .take(128)
+        .map(|c| {
+            if c.is_control() || c == ' ' || c == '"' || c == '=' {
+                '_'
+            } else {
+                c
+            }
+        })
+        .collect()
+}
+
+impl AccessRecord<'_> {
+    /// The single-line rendering (no trailing newline).
+    pub fn render(&self) -> String {
+        let mut line = String::with_capacity(96);
+        let _ = write!(
+            line,
+            "x2v-access id={} endpoint={} status={} latency_ms={:.3}",
+            self.id,
+            self.endpoint.map(sanitize).unwrap_or_else(|| "-".into()),
+            self.status,
+            self.latency_ms,
+        );
+        match self.deadline_remaining_ms {
+            Some(ms) => {
+                let _ = write!(line, " deadline_remaining_ms={ms}");
+            }
+            None => line.push_str(" deadline_remaining_ms=-"),
+        }
+        if let Some(err) = self.err {
+            let _ = write!(line, " err=\"{}\"", x2v_obs::json_escape(&sanitize(err)));
+        }
+        line
+    }
+
+    /// Writes the record to stderr.
+    pub fn emit(&self) {
+        eprintln!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_line_format() {
+        let r = AccessRecord {
+            id: 42,
+            endpoint: Some("/similar"),
+            status: 504,
+            latency_ms: 12.3456,
+            deadline_remaining_ms: Some(0),
+            err: Some("request deadline exceeded after 12 ms"),
+        };
+        assert_eq!(
+            r.render(),
+            "x2v-access id=42 endpoint=/similar status=504 latency_ms=12.346 \
+             deadline_remaining_ms=0 err=\"request_deadline_exceeded_after_12_ms\""
+        );
+    }
+
+    #[test]
+    fn unparsed_request_renders_dashes() {
+        let r = AccessRecord {
+            id: 7,
+            endpoint: None,
+            status: 400,
+            latency_ms: 0.5,
+            deadline_remaining_ms: None,
+            err: None,
+        };
+        assert_eq!(
+            r.render(),
+            "x2v-access id=7 endpoint=- status=400 latency_ms=0.500 deadline_remaining_ms=-"
+        );
+    }
+
+    #[test]
+    fn adversarial_paths_cannot_forge_tokens_or_lines() {
+        let r = AccessRecord {
+            id: 1,
+            endpoint: Some("/x\nstatus=200 injected\r\"quote"),
+            status: 404,
+            latency_ms: 1.0,
+            deadline_remaining_ms: None,
+            err: Some("a\nb status=999"),
+        };
+        let line = r.render();
+        assert!(!line.contains('\n') && !line.contains('\r'), "{line}");
+        // `=` is neutered in attacker-controlled values, so the only
+        // `status=` token in the line is the real field.
+        assert_eq!(line.matches("status=").count(), 1, "{line}");
+    }
+
+    #[test]
+    fn long_paths_are_truncated() {
+        let long = "/".repeat(4096);
+        let r = AccessRecord {
+            id: 1,
+            endpoint: Some(&long),
+            status: 404,
+            latency_ms: 1.0,
+            deadline_remaining_ms: None,
+            err: None,
+        };
+        assert!(r.render().len() < 256);
+    }
+}

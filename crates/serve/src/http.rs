@@ -188,19 +188,25 @@ fn parse_head(head: &[u8], max_head: usize) -> Result<Request, ServeError> {
     })
 }
 
-/// Writes a complete response: status line, minimal headers (JSON content
-/// type, explicit length, `Connection: close`, plus `Retry-After: 0` on
-/// retryable statuses so shed clients know to back off and come back), and
-/// the body. The caller sets the socket write timeout.
+/// `Content-Type` for JSON bodies (every endpoint except `/metrics`).
+pub const CONTENT_TYPE_JSON: &str = "application/json";
+/// `Content-Type` for the Prometheus text exposition on `/metrics`.
+pub const CONTENT_TYPE_PROM: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Writes a complete response: status line, minimal headers (the given
+/// content type, explicit length, `Connection: close`, plus
+/// `Retry-After: 0` on retryable statuses so shed clients know to back off
+/// and come back), and the body. The caller sets the socket write timeout.
 pub fn write_response(
     stream: &mut impl Write,
     status: u16,
     reason: &str,
     retryable: bool,
+    content_type: &str,
     body: &[u8],
 ) -> io::Result<()> {
     let mut head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
         body.len()
     );
     if retryable {
@@ -215,8 +221,23 @@ pub fn write_response(
 /// Writes the typed error as its mapped status with a JSON body
 /// `{"error": ..., "status": ..., "retryable": ...}`.
 pub fn write_error(stream: &mut impl Write, err: &ServeError) -> io::Result<()> {
+    write_error_with_id(stream, err, None)
+}
+
+/// [`write_error`] with the request id included in the body
+/// (`"request_id": N`), so a client-side failure report can be joined with
+/// the server's access log.
+pub fn write_error_with_id(
+    stream: &mut impl Write,
+    err: &ServeError,
+    request_id: Option<u64>,
+) -> io::Result<()> {
+    let id_field = match request_id {
+        Some(id) => format!("\"request_id\": {id}, "),
+        None => String::new(),
+    };
     let body = format!(
-        "{{\"error\": \"{}\", \"status\": {}, \"retryable\": {}}}",
+        "{{{id_field}\"error\": \"{}\", \"status\": {}, \"retryable\": {}}}",
         x2v_obs::json_escape(&err.to_string()),
         err.status(),
         err.retryable()
@@ -226,6 +247,7 @@ pub fn write_error(stream: &mut impl Write, err: &ServeError) -> io::Result<()> 
         err.status(),
         err.reason(),
         err.retryable(),
+        CONTENT_TYPE_JSON,
         body.as_bytes(),
     )
 }
@@ -303,6 +325,7 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
         assert!(text.contains("Retry-After: 0\r\n"));
         assert!(text.contains("\"retryable\": true"));
+        assert!(!text.contains("request_id"));
         let body = text.split("\r\n\r\n").nth(1).unwrap();
         let declared: usize = text
             .lines()
@@ -312,5 +335,24 @@ mod tests {
             .parse()
             .unwrap();
         assert_eq!(body.len(), declared);
+    }
+
+    #[test]
+    fn error_bodies_can_carry_the_request_id() {
+        let mut out = Vec::new();
+        write_error_with_id(&mut out, &ServeError::Overloaded, Some(42)).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("\"request_id\": 42, \"error\""), "{text}");
+    }
+
+    #[test]
+    fn content_type_is_caller_chosen() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "OK", false, CONTENT_TYPE_PROM, b"x 1\n").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.contains("Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"),
+            "{text}"
+        );
     }
 }

@@ -20,19 +20,34 @@
 //!   newest artifact is rejected and the last good snapshot keeps serving,
 //!   observably (`serve/stale_serves`).
 //!
+//! * **Live telemetry.** Every accepted connection gets a request id;
+//!   failing responses emit structured access-log lines ([`access`]);
+//!   request counters and latency land in both the lifetime registry and
+//!   the last-N-seconds window ring, scrapeable live via `GET /metrics`
+//!   (Prometheus text) and `GET /stats` (JSON) ([`metrics`]); a flusher
+//!   thread persists the obs report periodically so even a SIGKILL'd
+//!   daemon leaves telemetry behind. `docs/observability.md` has the
+//!   operator-facing story.
+//!
 //! Endpoints: `/health`, `/ready`, `/embed/<id>`,
-//! `/similar?id=&k=&deadline_ms=`. Fault injection for drills:
-//! `X2V_FAULTS=conndrop@serve/read`, `slowread@serve/read`,
-//! `corrupt@serve/frame` (see `x2v_guard::faults`). `docs/serving.md` has
-//! the operator-facing story.
+//! `/similar?id=&k=&deadline_ms=`, `/metrics`, `/stats`. Fault injection
+//! for drills: `X2V_FAULTS=conndrop@serve/read`, `slowread@serve/read`,
+//! `corrupt@serve/frame`, `enospc@serve/snapshot` (see
+//! `x2v_guard::faults`). `docs/serving.md` has the operator-facing story.
 
 #![warn(missing_docs)]
 
+pub mod access;
 pub mod error;
 pub mod http;
 pub mod index;
+pub mod metrics;
 pub mod server;
 
+pub use access::AccessRecord;
 pub use error::ServeError;
 pub use index::{EmbeddingSet, Hit, ARTIFACT_KIND};
-pub use server::{publish, Config, Server, DEADLINE_ENV, FRAME_SITE, READ_SITE};
+pub use metrics::{Endpoint, StatsContext, STATS_SCHEMA, WINDOWS_S};
+pub use server::{
+    publish, Config, Server, DEADLINE_ENV, FLUSH_ENV, FRAME_SITE, READ_SITE, SNAPSHOT_SITE,
+};

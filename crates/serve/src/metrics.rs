@@ -1,0 +1,432 @@
+//! The scrape surface: Prometheus-style text exposition (`/metrics`) and
+//! the JSON stats document (`/stats`).
+//!
+//! Both renderers are pure functions over a [`Registry`] + [`Window`]
+//! pair, so the golden tests drive them with isolated instances while the
+//! server passes the process-global ones. Both are cheap enough to scrape
+//! every second: one registry snapshot, one window merge per exposed
+//! window span, no allocation proportional to anything but the number of
+//! metric keys.
+//!
+//! ## Exposition format (`/metrics`)
+//!
+//! Keys are sanitised (`[^a-zA-Z0-9_]` → `_`) and prefixed `x2v_`. Output
+//! order is deterministic: lifetime counters, lifetime histograms
+//! (summaries with `quantile` labels), span calls/total, then one windowed
+//! section per span in [`WINDOWS_S`] ascending (`_w10s`/`_w60s` suffixes,
+//! gauges — they reset as the window slides). Golden-tested for byte
+//! stability in this module.
+
+use std::fmt::Write as _;
+
+use x2v_obs::{keys, HistSnapshot, Registry, Window};
+
+/// The window spans (seconds) exposed on `/metrics` and `/stats`, merged
+/// from the obs window ring (each clamped to the ring's configured span).
+pub const WINDOWS_S: [u64; 2] = [10, 60];
+
+/// Server-state fields that accompany the metric dump on `/stats`.
+#[derive(Clone, Debug, Default)]
+pub struct StatsContext {
+    /// The serving snapshot's generation, when one is loaded.
+    pub generation: Option<u64>,
+    /// Whether the serving snapshot is stale (a newer generation failed
+    /// validation).
+    pub stale: bool,
+    /// Seconds since the server started.
+    pub uptime_s: u64,
+    /// Current accept-queue depth.
+    pub queue_depth: usize,
+    /// Live peak-RSS sample in bytes, when the platform exposes it.
+    pub peak_rss_bytes: Option<u64>,
+}
+
+/// `[^a-zA-Z0-9_]` → `_`, prefixed `x2v_` — the Prometheus metric name for
+/// an obs key.
+fn prom_name(key: &str) -> String {
+    let mut out = String::with_capacity(key.len() + 4);
+    out.push_str("x2v_");
+    for c in key.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Total float rendering for the exposition (Prometheus accepts `NaN`).
+fn prom_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "NaN".to_string()
+    }
+}
+
+fn push_summary(out: &mut String, name: &str, h: &HistSnapshot, kind: &str) {
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+    for (q, v) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
+        let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {}", prom_f64(v));
+    }
+    let _ = writeln!(out, "{name}_sum {}", prom_f64(h.sum));
+    let _ = writeln!(out, "{name}_count {}", h.count);
+}
+
+/// Renders the Prometheus-style text exposition over the lifetime
+/// `registry` plus the [`WINDOWS_S`] merges of `window`.
+pub fn render_prometheus(registry: &Registry, window: &Window) -> String {
+    let (mut spans, mut counters, mut hists) = registry.snapshot();
+    spans.sort_by(|a, b| a.0.cmp(&b.0));
+    counters.sort_by(|a, b| a.0.cmp(&b.0));
+    hists.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let mut out = String::with_capacity(4096);
+    for (key, v) in &counters {
+        let name = prom_name(key);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {v}");
+    }
+    for (key, h) in &hists {
+        push_summary(&mut out, &prom_name(key), h, "summary");
+    }
+    for (key, s) in &spans {
+        let name = prom_name(key);
+        let _ = writeln!(out, "# TYPE {name}_calls counter");
+        let _ = writeln!(out, "{name}_calls {}", s.calls);
+        let _ = writeln!(out, "# TYPE {name}_total_ns counter");
+        let _ = writeln!(out, "{name}_total_ns {}", s.total_ns);
+    }
+    let mut seen = Vec::new();
+    for w in WINDOWS_S {
+        let merged = window.merged(w);
+        // Two requested spans clamping to the same ring span would emit
+        // duplicate metric names; keep the first.
+        if seen.contains(&merged.seconds) {
+            continue;
+        }
+        seen.push(merged.seconds);
+        let suffix = format!("_w{}s", merged.seconds);
+        for (key, v) in &merged.counters {
+            let name = format!("{}{suffix}", prom_name(key));
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (key, h) in &merged.histograms {
+            push_summary(&mut out, &format!("{}{suffix}", prom_name(key)), h, "gauge");
+        }
+    }
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        if s.contains(['.', 'e', 'E']) {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+fn push_hist_json(out: &mut String, h: &HistSnapshot) {
+    let _ = write!(
+        out,
+        "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+        h.count,
+        json_f64(h.sum),
+        json_f64(h.min),
+        json_f64(h.max),
+        json_f64(h.mean()),
+        json_f64(h.p50),
+        json_f64(h.p90),
+        json_f64(h.p99),
+    );
+}
+
+/// Schema tag of the `/stats` document.
+pub const STATS_SCHEMA: &str = "x2v-serve-stats/v1";
+
+/// Renders the `/stats` JSON: server state, one windowed
+/// counters+histograms object per span in [`WINDOWS_S`], and the full
+/// lifetime obs report (same schema as the on-disk run report) embedded
+/// under `"lifetime"`.
+pub fn render_stats(registry: &Registry, window: &Window, ctx: &StatsContext) -> String {
+    let mut out = String::with_capacity(8192);
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{STATS_SCHEMA}\",");
+    match ctx.generation {
+        Some(g) => {
+            let _ = writeln!(out, "  \"generation\": {g},");
+        }
+        None => out.push_str("  \"generation\": null,\n"),
+    }
+    let _ = writeln!(out, "  \"stale\": {},", ctx.stale);
+    let _ = writeln!(out, "  \"uptime_s\": {},", ctx.uptime_s);
+    let _ = writeln!(out, "  \"queue_depth\": {},", ctx.queue_depth);
+    match ctx.peak_rss_bytes {
+        Some(rss) => {
+            let _ = writeln!(out, "  \"peak_rss_bytes\": {rss},");
+        }
+        None => out.push_str("  \"peak_rss_bytes\": null,\n"),
+    }
+
+    out.push_str("  \"windows\": {");
+    let mut first_window = true;
+    let mut seen = Vec::new();
+    for w in WINDOWS_S {
+        let merged = window.merged(w);
+        if seen.contains(&merged.seconds) {
+            continue;
+        }
+        seen.push(merged.seconds);
+        if !first_window {
+            out.push(',');
+        }
+        first_window = false;
+        let _ = write!(out, "\n    \"{}s\": {{", merged.seconds);
+        out.push_str("\"counters\": {");
+        let mut first = true;
+        for (key, v) in &merged.counters {
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            let _ = write!(out, "\"{}\": {v}", x2v_obs::json_escape(key));
+        }
+        out.push_str("}, \"histograms\": {");
+        let mut first = true;
+        for (key, h) in &merged.histograms {
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            let _ = write!(out, "\"{}\": ", x2v_obs::json_escape(key));
+            push_hist_json(&mut out, h);
+        }
+        out.push_str("}}");
+    }
+    out.push_str(if first_window { "},\n" } else { "\n  },\n" });
+
+    // The lifetime section is the run report verbatim (schema x2v-obs/v2),
+    // so anything that parses the on-disk snapshot parses `/stats` too.
+    let report = x2v_obs::Report::from_registry(registry, "stats");
+    out.push_str("  \"lifetime\": ");
+    out.push_str(report.to_json().trim_end());
+    out.push_str("\n}\n");
+    out
+}
+
+/// The endpoint classes the daemon routes, used for per-endpoint windowed
+/// request/error rates (the obs keys live in [`x2v_obs::keys::endpoint`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `/similar`.
+    Similar,
+    /// `/embed/<id>`.
+    Embed,
+    /// `/health`.
+    Health,
+    /// `/ready`.
+    Ready,
+    /// `/metrics`.
+    Metrics,
+    /// `/stats`.
+    Stats,
+    /// Anything else (including requests that never parsed).
+    Other,
+}
+
+impl Endpoint {
+    /// Classifies a request path.
+    pub fn from_path(path: &str) -> Self {
+        match path {
+            "/similar" => Endpoint::Similar,
+            "/health" => Endpoint::Health,
+            "/ready" => Endpoint::Ready,
+            "/metrics" => Endpoint::Metrics,
+            "/stats" => Endpoint::Stats,
+            p if p.starts_with("/embed/") => Endpoint::Embed,
+            _ => Endpoint::Other,
+        }
+    }
+
+    /// The windowed request-count key for this class.
+    pub fn req_key(self) -> &'static str {
+        match self {
+            Endpoint::Similar => keys::endpoint::REQ_SIMILAR,
+            Endpoint::Embed => keys::endpoint::REQ_EMBED,
+            Endpoint::Health => keys::endpoint::REQ_HEALTH,
+            Endpoint::Ready => keys::endpoint::REQ_READY,
+            Endpoint::Metrics => keys::endpoint::REQ_METRICS,
+            Endpoint::Stats => keys::endpoint::REQ_STATS,
+            Endpoint::Other => keys::endpoint::REQ_OTHER,
+        }
+    }
+
+    /// The windowed error-count key for this class.
+    pub fn err_key(self) -> &'static str {
+        match self {
+            Endpoint::Similar => keys::endpoint::ERR_SIMILAR,
+            Endpoint::Embed => keys::endpoint::ERR_EMBED,
+            Endpoint::Health => keys::endpoint::ERR_HEALTH,
+            Endpoint::Ready => keys::endpoint::ERR_READY,
+            Endpoint::Metrics => keys::endpoint::ERR_METRICS,
+            Endpoint::Stats => keys::endpoint::ERR_STATS,
+            Endpoint::Other => keys::endpoint::ERR_OTHER,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> (Registry, Window) {
+        let reg = Registry::new();
+        reg.counter_add("serve/requests", 42);
+        reg.counter_add("serve/shed", 3);
+        reg.observe("serve/latency_ms", 2.0);
+        reg.observe("serve/latency_ms", 2.0);
+        reg.observe("serve/latency_ms", 2.0);
+        reg.record_span("serve/request", std::time::Duration::from_nanos(1500));
+        let win = Window::with_span(60);
+        win.counter_add_at("serve/requests", 5, 0);
+        win.observe_at("serve/latency_ms", 2.0, 0);
+        (reg, win)
+    }
+
+    #[test]
+    fn prometheus_exposition_is_golden() {
+        let (reg, win) = fixture();
+        // Drive the window clock explicitly so the merge is deterministic.
+        let text = {
+            let mut out = String::new();
+            // Re-render via the public function: the window's internal
+            // clock is still inside second 0, so merged(10)/merged(60)
+            // both see the recordings.
+            out.push_str(&render_prometheus(&reg, &win));
+            out
+        };
+        let expected = "\
+# TYPE x2v_serve_requests counter
+x2v_serve_requests 42
+# TYPE x2v_serve_shed counter
+x2v_serve_shed 3
+# TYPE x2v_serve_latency_ms summary
+x2v_serve_latency_ms{quantile=\"0.5\"} 2
+x2v_serve_latency_ms{quantile=\"0.9\"} 2
+x2v_serve_latency_ms{quantile=\"0.99\"} 2
+x2v_serve_latency_ms_sum 6
+x2v_serve_latency_ms_count 3
+# TYPE x2v_serve_request_calls counter
+x2v_serve_request_calls 1
+# TYPE x2v_serve_request_total_ns counter
+x2v_serve_request_total_ns 1500
+# TYPE x2v_serve_requests_w10s gauge
+x2v_serve_requests_w10s 5
+# TYPE x2v_serve_latency_ms_w10s gauge
+x2v_serve_latency_ms_w10s{quantile=\"0.5\"} 2
+x2v_serve_latency_ms_w10s{quantile=\"0.9\"} 2
+x2v_serve_latency_ms_w10s{quantile=\"0.99\"} 2
+x2v_serve_latency_ms_w10s_sum 2
+x2v_serve_latency_ms_w10s_count 1
+# TYPE x2v_serve_requests_w60s gauge
+x2v_serve_requests_w60s 5
+# TYPE x2v_serve_latency_ms_w60s gauge
+x2v_serve_latency_ms_w60s{quantile=\"0.5\"} 2
+x2v_serve_latency_ms_w60s{quantile=\"0.9\"} 2
+x2v_serve_latency_ms_w60s{quantile=\"0.99\"} 2
+x2v_serve_latency_ms_w60s_sum 2
+x2v_serve_latency_ms_w60s_count 1
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn exposition_sanitises_names_and_is_stably_ordered() {
+        let reg = Registry::new();
+        reg.counter_add("weird/key-with.dots and spaces", 1);
+        reg.counter_add("a/first", 2);
+        let win = Window::with_span(60);
+        let text = render_prometheus(&reg, &win);
+        let a = text.find("x2v_a_first 2").expect("sorted key present");
+        let b = text
+            .find("x2v_weird_key_with_dots_and_spaces 1")
+            .expect("sanitised key present");
+        assert!(a < b, "counters must be sorted lexicographically:\n{text}");
+        // Rendering twice is byte-identical (stable order).
+        assert_eq!(text, render_prometheus(&reg, &win));
+    }
+
+    #[test]
+    fn stats_json_has_windows_and_embeds_the_report_schema() {
+        let (reg, win) = fixture();
+        let ctx = StatsContext {
+            generation: Some(3),
+            stale: false,
+            uptime_s: 9,
+            queue_depth: 1,
+            peak_rss_bytes: Some(1024),
+        };
+        let json = render_stats(&reg, &win, &ctx);
+        assert!(
+            json.contains("\"schema\": \"x2v-serve-stats/v1\""),
+            "{json}"
+        );
+        assert!(json.contains("\"generation\": 3"), "{json}");
+        assert!(json.contains("\"10s\": {"), "{json}");
+        assert!(json.contains("\"60s\": {"), "{json}");
+        assert!(
+            json.contains("\"serve/latency_ms\": {\"count\": 1"),
+            "{json}"
+        );
+        // The embedded lifetime section is the normal obs report.
+        assert!(json.contains("\"x2v-obs/v2\""), "{json}");
+        assert!(json.contains("\"serve/requests\": 42"), "{json}");
+        // And the whole document parses with the workspace JSON reader —
+        // checked in the serve_faults integration test; here we sanity
+        // check balance cheaply.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn stats_json_renders_null_fields() {
+        let reg = Registry::new();
+        let win = Window::with_span(60);
+        let json = render_stats(&reg, &win, &StatsContext::default());
+        assert!(json.contains("\"generation\": null"), "{json}");
+        assert!(json.contains("\"peak_rss_bytes\": null"), "{json}");
+    }
+
+    #[test]
+    fn endpoint_classification_is_total() {
+        assert_eq!(Endpoint::from_path("/similar"), Endpoint::Similar);
+        assert_eq!(Endpoint::from_path("/embed/v1"), Endpoint::Embed);
+        assert_eq!(Endpoint::from_path("/health"), Endpoint::Health);
+        assert_eq!(Endpoint::from_path("/ready"), Endpoint::Ready);
+        assert_eq!(Endpoint::from_path("/metrics"), Endpoint::Metrics);
+        assert_eq!(Endpoint::from_path("/stats"), Endpoint::Stats);
+        assert_eq!(Endpoint::from_path("/nope"), Endpoint::Other);
+        for e in [
+            Endpoint::Similar,
+            Endpoint::Embed,
+            Endpoint::Health,
+            Endpoint::Ready,
+            Endpoint::Metrics,
+            Endpoint::Stats,
+            Endpoint::Other,
+        ] {
+            assert!(e.req_key().starts_with("serve/req/"));
+            assert!(e.err_key().starts_with("serve/err/"));
+        }
+    }
+}

@@ -61,10 +61,16 @@ fn outputs_are_bit_identical_across_thread_counts() {
     x2v_ckpt::clear_ambient();
     x2v_ckpt::set_resume(false);
 
-    let seed = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .expect("clock after epoch")
-        .as_secs();
+    // Fresh seed per run; X2V_PAR_DET_SEED replays a printed seed exactly.
+    let seed = std::env::var("X2V_PAR_DET_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .expect("clock after epoch")
+                .as_secs()
+        });
     eprintln!("par_determinism input seed: {seed}");
     let mut rng = StdRng::seed_from_u64(seed);
     let graphs: Vec<Graph> = (0..14)
@@ -191,9 +197,13 @@ fn outputs_are_bit_identical_across_thread_counts() {
         let partial =
             x2v_par::with_threads(t, || Word2Vec::train_job(&walks_1, vocab, &sgns, "par-det"));
         x2v_guard::clear_ambient();
-        assert_ne!(
-            bits(partial.vector(0)),
-            bits(w2v_1.vector(0)),
+        // Some vector must still be missing the last epoch's updates. (Not
+        // token 0 specifically: an unlucky seed can isolate vertex 0, whose
+        // windowless length-1 walks never train its vector at all.)
+        let interrupted =
+            (0..vocab).any(|tok| bits(partial.vector(tok)) != bits(w2v_1.vector(tok)));
+        assert!(
+            interrupted,
             "the trip must actually interrupt training, threads={t}"
         );
         x2v_ckpt::set_resume(true);

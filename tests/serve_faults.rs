@@ -13,7 +13,7 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use x2v_ckpt::Store;
-use x2v_guard::faults::{self, SocketFaultKind};
+use x2v_guard::faults::{self, SocketFaultKind, StoreFaultKind};
 use x2v_obs::keys;
 use x2v_serve::{publish, Config, EmbeddingSet, Server};
 
@@ -84,12 +84,18 @@ fn fresh_root(tag: &str) -> std::path::PathBuf {
 fn every_serving_degradation_path_fires_deterministically() {
     x2v_obs::set_enabled(true);
     faults::clear();
+    let snapshot_run = format!("serve-drill-{}", std::process::id());
     let config = Config {
         workers: 2,
         queue_depth: 4,
         io_timeout_ms: 600,
         reload_poll_ms: 25,
         job: "drill".to_string(),
+        // Telemetry plane: deterministic request ids, a fast snapshot
+        // flusher, and a drill-unique snapshot run name.
+        request_id_base: 1000,
+        flush_secs: 1,
+        snapshot_run: snapshot_run.clone(),
         ..Config::default()
     };
 
@@ -127,8 +133,11 @@ fn every_serving_degradation_path_fires_deterministically() {
     let (status, body) = get(addr, "/embed/v7");
     assert_eq!(status, 200, "{body}");
     assert!(body.contains("\"vector\": ["), "{body}");
-    let (status, _) = get(addr, "/embed/nope");
+    let (status, body) = get(addr, "/embed/nope");
     assert_eq!(status, 404);
+    // Every error body carries the request id (ids start at the configured
+    // base), joining client-side failure reports to the access log.
+    assert!(body.contains("\"request_id\": 10"), "{body}");
     let (status, _) = get(addr, "/similar?id=v3&k=abc");
     assert_eq!(status, 400);
     let (status, _) = get(addr, "/nowhere");
@@ -171,7 +180,66 @@ fn every_serving_degradation_path_fires_deterministically() {
     let (status, body) = get(addr, "/similar?id=v0&k=2&deadline_ms=0");
     assert_eq!(status, 504, "{body}");
     assert!(body.contains("\"retryable\": false"), "{body}");
+    assert!(body.contains("\"request_id\": "), "{body}");
     assert_eq!(counter(keys::SERVE_DEADLINE_TRIPS), trips_before + 1);
+
+    // ── Drill 4b: the live telemetry scrape plane. `/metrics` answers the
+    // Prometheus text exposition with both lifetime series and windowed
+    // (`_wNs`) variants; `/stats` answers JSON embedding the full lifetime
+    // obs report; both run under the same request deadlines as queries.
+    let (status, text) = get(addr, "/metrics");
+    assert_eq!(status, 200, "{text}");
+    assert!(
+        text.contains("Content-Type: text/plain; version=0.0.4"),
+        "{text}"
+    );
+    assert!(text.contains("# TYPE x2v_serve_requests counter"), "{text}");
+    assert!(
+        text.contains("x2v_serve_latency_ms{quantile=\"0.99\"}"),
+        "{text}"
+    );
+    // The drills above all ran within the last minute, so the windowed
+    // latency series must be populated.
+    assert!(text.contains("x2v_serve_latency_ms_w10s_count"), "{text}");
+    assert!(text.contains("x2v_serve_latency_ms_w60s_count"), "{text}");
+
+    let (status, body) = get(addr, "/stats");
+    assert_eq!(status, 200, "{body}");
+    assert!(
+        body.contains("\"schema\": \"x2v-serve-stats/v1\""),
+        "{body}"
+    );
+    assert!(body.contains("\"x2v-obs/v2\""), "{body}"); // embedded lifetime report
+    assert!(body.contains("\"10s\": {"), "{body}");
+    assert!(body.contains("\"60s\": {"), "{body}");
+    assert!(body.contains("\"generation\": 3"), "{body}");
+    assert!(body.contains("\"queue_depth\": "), "{body}");
+    assert!(body.contains("\"serve/latency_ms\""), "{body}");
+
+    // Scrapes honour deadlines like any other endpoint.
+    assert_eq!(get(addr, "/metrics?deadline_ms=0").0, 504);
+    assert_eq!(get(addr, "/stats?deadline_ms=0").0, 504);
+    // And the scrape endpoints reject their own garbage zoo with typed
+    // errors, never a panic or hang.
+    let scrape_garbage: &[(&[u8], u16)] = &[
+        (b"GET /metrics?deadline_ms=abc HTTP/1.1\r\n\r\n", 400),
+        (
+            b"GET /stats?deadline_ms=99999999999999999999999 HTTP/1.1\r\n\r\n",
+            400,
+        ),
+        (b"POST /metrics HTTP/1.1\r\n\r\n", 405),
+        (b"GET /metrics/extra HTTP/1.1\r\n\r\n", 404),
+        (b"GET /stats%00 HTTP/1.1\r\n\r\n", 404),
+    ];
+    for (bytes, expected) in scrape_garbage {
+        let (status, body) = raw(addr, bytes);
+        assert_eq!(status, *expected, "scrape garbage {bytes:?}: {body}");
+    }
+    assert_eq!(
+        get(addr, "/metrics").0,
+        200,
+        "scrape plane alive after fuzz"
+    );
 
     // ── Drill 5: conndrop@serve/read — the worker drops the connection
     // before reading; the client sees a clean close, the daemon survives.
@@ -262,6 +330,34 @@ fn every_serving_degradation_path_fires_deterministically() {
     assert!(status == 413 || status == 0, "got {status}");
     assert_eq!(get(addr, "/health").0, 200, "daemon alive after fuzzing");
 
+    // ── Drill 8b: the periodic obs-snapshot flusher. With flush_secs=1
+    // the daemon must have written at least one atomic snapshot by now
+    // (the drills above took seconds); the file parses and carries the
+    // serve counters, and its `run/peak_rss_bytes` high-water mark is
+    // live-sampled. An injected ENOSPC at the snapshot site is counted
+    // and survived — telemetry never takes the daemon down.
+    wait_until("first obs snapshot written", || {
+        counter(keys::SERVE_SNAPSHOTS) >= 1
+    });
+    let snap_path = x2v_obs::report(&snapshot_run).default_path();
+    wait_until("snapshot file on disk", || snap_path.exists());
+    let snap_json = std::fs::read_to_string(&snap_path).unwrap();
+    assert!(snap_json.contains("\"x2v-obs/v2\""), "{snap_json}");
+    assert!(snap_json.contains("\"serve/requests\""), "{snap_json}");
+    assert!(snap_json.contains("\"run/peak_rss_bytes\""), "{snap_json}");
+    assert_eq!(
+        snap_json.matches('{').count(),
+        snap_json.matches('}').count(),
+        "snapshot must be complete JSON (atomic write): {snap_json}"
+    );
+    let failed_before = counter(keys::SERVE_SNAPSHOT_FAILED);
+    faults::inject_store(StoreFaultKind::Enospc, x2v_serve::SNAPSHOT_SITE, 1);
+    wait_until("snapshot ENOSPC counted", || {
+        counter(keys::SERVE_SNAPSHOT_FAILED) > failed_before
+    });
+    faults::clear();
+    assert_eq!(get(addr, "/health").0, 200, "daemon alive after ENOSPC");
+
     // ── Drill 9: clean shutdown joins every thread.
     server.shutdown();
 
@@ -284,4 +380,5 @@ fn every_serving_degradation_path_fires_deterministically() {
 
     let _ = std::fs::remove_dir_all(&root);
     let _ = std::fs::remove_dir_all(&root2);
+    let _ = std::fs::remove_file(&snap_path);
 }
