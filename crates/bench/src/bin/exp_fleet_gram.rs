@@ -1,0 +1,145 @@
+//! E30 — crash-tolerant multi-process Gram computation over the fleet.
+//!
+//! Builds the WL-kernel Gram matrix of a fixed synthetic dataset through
+//! [`x2v_fleet::run_fleet`]: row blocks go out as fleet tasks, worker
+//! subprocesses claim and publish them through the ckpt store, and the
+//! merged matrix is printed as a CRC fingerprint — the line CI diffs
+//! across worker counts and kill schedules to prove bit-identity:
+//!
+//! ```text
+//! exp_fleet_gram [--workers N] [--store DIR] [--resume] [--allow-partial]
+//!                [--budget-ms N]
+//! ```
+//!
+//! `--workers` (default `$X2V_FLEET_WORKERS`, else 1) picks the fleet
+//! width; 1 runs inline with no subprocesses. `--resume` reuses the
+//! durable shards of a previous identical run (after a crash or a
+//! `WorkerFailed` exit, only the missing row blocks are recomputed).
+//! `--allow-partial` degrades to a declared-partial matrix instead of the
+//! typed error when the retry budget runs out. Fault drills arm the first
+//! worker cohort via `X2V_FAULTS` (`kill9@fleet/worker`,
+//! `stall@fleet/heartbeat`, `corrupt@fleet/shard`).
+
+use x2v_bench::fleet_workloads::{merge_gram, GramWorkload};
+use x2v_bench::harness::guarded_main;
+use x2v_ckpt::crc32::Crc32;
+use x2v_ckpt::Store;
+use x2v_datasets::synthetic::cycles_vs_trees;
+use x2v_fleet::{run_fleet, FleetConfig};
+use x2v_guard::GuardError;
+
+/// Fixed workload shape: every invocation must build the same manifest,
+/// or `--resume` could never match shards across runs.
+const PER_CLASS: usize = 12;
+const MIN_ORDER: usize = 8;
+const DATASET_SEED: u64 = 5;
+const WL_ROUNDS: usize = 3;
+const ROW_BLOCK: usize = 2;
+
+fn main() {
+    guarded_main("exp_fleet_gram", run);
+}
+
+fn run() -> Result<(), GuardError> {
+    let (workers, store_dir, resume, allow_partial) = parse_args(std::env::args().skip(1))?;
+    let data = cycles_vs_trees(PER_CLASS, MIN_ORDER, DATASET_SEED);
+    let workload = GramWorkload::new(WL_ROUNDS, ROW_BLOCK, data.graphs);
+    let n = workload.n_graphs();
+    println!("E30 — fleet Gram: {n} graphs, WL depth {WL_ROUNDS}, {workers} worker(s)\n");
+
+    let store = Store::open(&store_dir)?;
+    let mut cfg = FleetConfig::new("exp-fleet-gram");
+    cfg.workers = workers;
+    cfg.resume = resume;
+    cfg.allow_partial = allow_partial;
+    if workers > 1 {
+        let exe = std::env::current_exe().map_err(|e| GuardError::Storage {
+            site: x2v_fleet::SITE,
+            message: format!("cannot locate own executable: {e}"),
+        })?;
+        cfg.worker_cmd = Some(exe.with_file_name("fleet_worker"));
+    }
+    if let Ok(faults) = std::env::var("X2V_FAULTS") {
+        // Re-export the drill to the first worker cohort explicitly: the
+        // supervisor controls which cohort is armed, not process heredity.
+        cfg.worker_env.push(("X2V_FAULTS".to_string(), faults));
+    }
+
+    let outcome = run_fleet(&store, &cfg, &workload)?;
+    let (gram, missing) = merge_gram(n, workload.block(), &outcome.shards)?;
+
+    let mut crc = Crc32::new();
+    for i in 0..n {
+        for j in 0..n {
+            crc.update_u64(gram[(i, j)].to_bits());
+        }
+    }
+    println!("merged gram crc={:08x}", crc.finish());
+    println!(
+        "tasks={} missing_rows={missing:?} deaths={} respawns={} stalls={} retries={}",
+        outcome.shards.len(),
+        outcome.worker_deaths,
+        outcome.respawns,
+        outcome.stalls,
+        outcome.retries,
+    );
+    if !outcome.complete {
+        println!("PARTIAL result: declared-missing row blocks survive for --resume");
+    }
+    Ok(())
+}
+
+fn parse_args(
+    args: impl Iterator<Item = String>,
+) -> Result<(usize, String, bool, bool), GuardError> {
+    let bad = |message: String| GuardError::InvalidInput {
+        site: x2v_fleet::SITE,
+        message,
+    };
+    let mut workers: Option<usize> = None;
+    let mut store_dir = "target/fleet".to_string();
+    let mut resume = false;
+    let mut allow_partial = false;
+    let mut args = args.peekable();
+    while let Some(a) = args.next() {
+        let mut take = |flag: &str, inline: Option<&str>| -> Result<String, GuardError> {
+            match inline {
+                Some(v) => Ok(v.to_string()),
+                None => args
+                    .next()
+                    .ok_or_else(|| bad(format!("{flag} needs a value"))),
+            }
+        };
+        if a == "--workers" || a.starts_with("--workers=") {
+            let v = take("--workers", a.strip_prefix("--workers="))?;
+            workers = Some(
+                v.parse()
+                    .map_err(|_| bad(format!("--workers {v:?} is not a count")))?,
+            );
+        } else if a == "--store" || a.starts_with("--store=") {
+            store_dir = take("--store", a.strip_prefix("--store="))?;
+        } else if a == "--resume" {
+            resume = true;
+        } else if a == "--allow-partial" {
+            allow_partial = true;
+        } else if a == "--budget-ms" {
+            // Consumed by the ObsRun harness; skip its value here.
+            let _ = args.next();
+        } else if a.starts_with("--budget-ms=") || a.starts_with("--ckpt-dir") {
+            // Harness flags, value inline or none.
+        } else {
+            return Err(bad(format!("unknown argument {a:?}")));
+        }
+    }
+    let workers = match workers {
+        Some(w) => w,
+        None => std::env::var("X2V_FLEET_WORKERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1),
+    };
+    if workers == 0 {
+        return Err(bad("--workers must be at least 1".into()));
+    }
+    Ok((workers, store_dir, resume, allow_partial))
+}

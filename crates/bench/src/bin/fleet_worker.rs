@@ -1,0 +1,66 @@
+//! Fleet worker subprocess: the executable side of the `x2v-fleet`
+//! protocol. Spawned by the supervisor (and by the chaos tests), never run
+//! by hand:
+//!
+//! ```text
+//! fleet_worker <store-root> <job> <worker-id> <heartbeat-ms> <max-attempts>
+//! ```
+//!
+//! The worker opens the shared store, loads the task manifest the
+//! supervisor published, reconstructs the workload via
+//! [`x2v_bench::fleet_workloads::from_manifest`], and enters
+//! [`x2v_fleet::worker_main`]. It exits 0 when every task is settled,
+//! or with the workspace-standard typed exit code (see
+//! [`x2v_guard::TRIAGE`]) — the supervisor treats any non-zero exit as a
+//! death and re-dispatches the worker's leases.
+
+use x2v_bench::fleet_workloads::from_manifest;
+use x2v_bench::harness::guarded_main;
+use x2v_ckpt::Store;
+use x2v_fleet::protocol::{self, Manifest, MANIFEST_KIND};
+use x2v_guard::GuardError;
+
+const SITE: &str = "fleet/worker";
+
+fn main() {
+    guarded_main("fleet_worker", run);
+}
+
+fn run() -> Result<(), GuardError> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bad = |message: String| GuardError::InvalidInput {
+        site: SITE,
+        message,
+    };
+    let [root, job, worker, heartbeat_ms, max_attempts] = args.as_slice() else {
+        return Err(bad(format!(
+            "usage: fleet_worker <store-root> <job> <worker-id> <heartbeat-ms> <max-attempts> \
+             (got {} args)",
+            args.len()
+        )));
+    };
+    let worker: u64 = worker
+        .parse()
+        .map_err(|_| bad(format!("worker id {worker:?} is not a u64")))?;
+    let heartbeat_ms: u64 = heartbeat_ms
+        .parse()
+        .map_err(|_| bad(format!("heartbeat period {heartbeat_ms:?} is not a u64")))?;
+    let max_attempts: u64 = max_attempts
+        .parse()
+        .map_err(|_| bad(format!("attempt cap {max_attempts:?} is not a u64")))?;
+
+    let store = Store::open(root)?;
+    let manifest = store
+        .load_latest(&protocol::manifest_job(job), MANIFEST_KIND)?
+        .and_then(|(_, payload)| Manifest::decode(&payload))
+        .ok_or_else(|| bad(format!("no decodable manifest for fleet job {job:?}")))?;
+    let workload = from_manifest(&manifest.workload_kind, &manifest.params)?;
+    x2v_fleet::worker_main(
+        &store,
+        job,
+        worker,
+        heartbeat_ms,
+        max_attempts,
+        workload.as_ref(),
+    )
+}

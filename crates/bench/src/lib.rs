@@ -7,6 +7,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod fleet_workloads;
 pub mod harness;
 pub mod suite;
 

@@ -302,6 +302,32 @@ fn workloads(smoke: bool) -> Vec<Workload> {
         });
     }
 
+    // Inline fleet execution of a Gram build: the coordinator/worker
+    // protocol overhead (manifest publish, shard publish + validate +
+    // merge through the ckpt store) on top of the same kernel math, in
+    // the degenerate one-process configuration every multi-worker run
+    // must reproduce bit for bit.
+    let fleet_graphs = cycles_vs_trees(pick(16, 6), 8, 31).graphs;
+    out.push(Workload {
+        name: "fleet/gram_inline",
+        threads: 1,
+        baseline: None,
+        run: Box::new(move || {
+            let dir = std::env::temp_dir().join(format!("x2v-bench-fleet-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            let store = x2v_ckpt::Store::open(&dir).unwrap_or_else(|e| panic!("{e}"));
+            let w = crate::fleet_workloads::GramWorkload::new(3, 2, fleet_graphs.clone());
+            let n = w.n_graphs();
+            let outcome =
+                x2v_fleet::run_fleet(&store, &x2v_fleet::FleetConfig::new("bench-fleet"), &w)
+                    .unwrap_or_else(|e| panic!("{e}"));
+            let (m, _) = crate::fleet_workloads::merge_gram(n, w.block(), &outcome.shards)
+                .unwrap_or_else(|e| panic!("{e}"));
+            let _ = std::fs::remove_dir_all(&dir);
+            fold_f64s(m.as_slice())
+        }),
+    });
+
     out
 }
 
@@ -733,6 +759,16 @@ impl DiffReport {
                 d.pct
             );
         }
+        if !self.improvements.is_empty() {
+            let _ = writeln!(
+                out,
+                "note: {} bench(es) improved by more than {:.0}% — consider re-baselining \
+                 (run bench_suite and commit the new BENCH_<n>.json) so future diffs gate \
+                 against the faster medians",
+                self.improvements.len(),
+                self.threshold_pct
+            );
+        }
         for name in &self.missing {
             let _ = writeln!(out, "MISSING     {name} (present in baseline only)");
         }
@@ -899,6 +935,22 @@ mod tests {
         let d = diff_reports(&old, &new, 20.0);
         assert!(!d.failed());
         assert_eq!(d.improvements.len(), 1);
+    }
+
+    #[test]
+    fn big_improvements_suggest_rebaselining_without_gating() {
+        let old = report_with(&[("a/x", 10_000.0, 0.0), ("b/y", 500.0, 0.0)]);
+        let new = report_with(&[("a/x", 1000.0, 0.0), ("b/y", 500.0, 0.0)]);
+        let d = diff_reports(&old, &new, 20.0);
+        assert!(!d.failed(), "an improvement must never gate");
+        assert!(
+            d.render().contains("consider re-baselining"),
+            "render: {}",
+            d.render()
+        );
+        // No improvements, no nag.
+        let clean = diff_reports(&new, &new, 20.0);
+        assert!(!clean.render().contains("consider re-baselining"));
     }
 
     #[test]

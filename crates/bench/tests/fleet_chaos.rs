@@ -1,0 +1,251 @@
+//! Fleet chaos battery: the house invariant under subprocess murder.
+//!
+//! The contract under test (`crates/fleet`): the merged Gram shard bytes
+//! are **bit-identical** at any `workers` count — including 1, the inline
+//! no-subprocess reference — and under any kill schedule; when the retry
+//! budget is exhausted the run ends in a *typed* outcome (declared-partial
+//! or [`GuardError::WorkerFailed`] with the missing tasks enumerated),
+//! never a hang, a panic, or a silently wrong matrix.
+//!
+//! The SIGKILL battery replays `SCHEDULES` seeded kill schedules: each
+//! schedule picks a victim worker and a delay from its own RNG stream,
+//! SIGKILLs the victim's pid (read from its heartbeat frames) at that
+//! point, and asserts the invariant. The base seed is printed and can be
+//! pinned for replay via `X2V_FLEET_CHAOS_SEED`.
+
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use x2v_bench::fleet_workloads::GramWorkload;
+use x2v_ckpt::Store;
+use x2v_datasets::synthetic::cycles_vs_trees;
+use x2v_fleet::protocol::{self, Heartbeat, HEARTBEAT_KIND};
+use x2v_fleet::{run_fleet, FleetConfig, FleetOutcome, Workload};
+use x2v_guard::GuardError;
+
+const WORKER_BIN: &str = env!("CARGO_BIN_EXE_fleet_worker");
+
+/// The shared workload: 24 graphs, one Gram row per task. Small enough
+/// that a full run is cheap, wide enough (24 tasks) that kills land
+/// mid-run.
+fn workload() -> GramWorkload {
+    GramWorkload::new(3, 1, cycles_vs_trees(12, 20, 3).graphs)
+}
+
+/// The golden shards: the workload run directly, no fleet at all.
+fn golden(w: &GramWorkload) -> Vec<Option<Vec<u8>>> {
+    (0..w.num_tasks())
+        .map(|t| Some(w.run_task(t).unwrap()))
+        .collect()
+}
+
+fn fresh_store(tag: &str) -> (PathBuf, Store) {
+    let dir = std::env::temp_dir().join(format!("x2v-fleet-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Store::open(&dir).unwrap();
+    (dir, store)
+}
+
+/// Fast-twitch fleet timings for the tests: tight heartbeats, an
+/// aggressive stall deadline, and a small respawn backoff.
+fn config(job: &str, workers: usize) -> FleetConfig {
+    let mut cfg = FleetConfig::new(job);
+    cfg.workers = workers;
+    cfg.worker_cmd = Some(PathBuf::from(WORKER_BIN));
+    cfg.heartbeat_ms = 25;
+    cfg.stall_timeout_ms = 400;
+    cfg.poll_ms = 10;
+    cfg.backoff_base_ms = 5;
+    cfg.backoff_cap_ms = 40;
+    cfg
+}
+
+#[test]
+fn merged_output_is_bit_identical_across_worker_counts() {
+    let w = workload();
+    let want = golden(&w);
+    for workers in [1usize, 2, 4] {
+        let (dir, store) = fresh_store(&format!("wc{workers}"));
+        let out = run_fleet(&store, &config("wc", workers), &w).unwrap();
+        assert!(out.complete, "{workers} workers must complete");
+        assert_eq!(
+            out.shards, want,
+            "{workers} workers must match golden bytes"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn sigkill_battery_preserves_bit_identity() {
+    const SCHEDULES: u64 = 20;
+    const WORKERS: usize = 2;
+    let seed: u64 = std::env::var("X2V_FLEET_CHAOS_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0)
+        });
+    println!("chaos base seed = {seed} (replay: X2V_FLEET_CHAOS_SEED={seed})");
+    let want = golden(&workload());
+    let mut landed = 0u32;
+
+    for schedule in 0..SCHEDULES {
+        let mut rng = StdRng::seed_from_u64(seed).split_stream(schedule);
+        let delay_ms: u64 = rng.random_range(5..150);
+        let victim: u64 = rng.random_range(0..WORKERS as u64);
+        let (dir, store) = fresh_store(&format!("kb{schedule}"));
+        let job = format!("kb{schedule}");
+
+        let fleet = std::thread::spawn({
+            let cfg = config(&job, WORKERS);
+            let root = dir.clone();
+            move || -> Result<FleetOutcome, GuardError> {
+                let store = Store::open(&root)?;
+                run_fleet(&store, &cfg, &workload())
+            }
+        });
+
+        // The kill side: wait the scheduled delay, then SIGKILL whatever
+        // pid the victim's newest heartbeat advertises. A miss (no beat
+        // yet, or the worker already exited) is a vacuous schedule — the
+        // battery's randomness covers the interesting windows.
+        std::thread::sleep(Duration::from_millis(delay_ms));
+        let hb_job = protocol::heartbeat_job(&job, victim);
+        if let Ok(Some((_, beat))) = store.load_latest(&hb_job, HEARTBEAT_KIND) {
+            if let Some(hb) = Heartbeat::decode(&beat) {
+                let hit = Command::new("kill")
+                    .args(["-9", &hb.pid.to_string()])
+                    .status()
+                    .is_ok_and(|s| s.success());
+                landed += u32::from(hit);
+            }
+        }
+
+        let out = fleet.join().expect("supervisor must never panic");
+        match out {
+            Ok(o) if o.complete => assert_eq!(
+                o.shards, want,
+                "schedule {schedule} (seed {seed}): kill at {delay_ms}ms of worker {victim} \
+                 changed the merged bytes"
+            ),
+            Ok(o) => panic!(
+                "schedule {schedule}: partial outcome without allow_partial: missing {:?}",
+                o.missing
+            ),
+            Err(GuardError::WorkerFailed { tasks, .. }) => assert!(
+                !tasks.is_empty(),
+                "schedule {schedule}: WorkerFailed must enumerate missing tasks"
+            ),
+            Err(e) => panic!("schedule {schedule}: untyped failure {e}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    println!("{landed}/{SCHEDULES} scheduled SIGKILLs landed on a live worker");
+}
+
+#[test]
+fn kill9_drill_respawns_and_completes() {
+    let w = workload();
+    let want = golden(&w);
+    let (dir, store) = fresh_store("kill9");
+    let mut cfg = config("kill9", 2);
+    // Arm the first cohort only: every first-cohort worker aborts right
+    // before its second claim; respawns start clean and finish the job.
+    cfg.worker_env
+        .push(("X2V_FAULTS".into(), "kill9@fleet/worker:2".into()));
+    let out = run_fleet(&store, &cfg, &w).unwrap();
+    assert!(out.complete);
+    assert_eq!(out.shards, want, "deaths must not change the merged bytes");
+    assert!(out.worker_deaths >= 2, "both armed workers abort: {out:?}");
+    assert!(out.respawns >= 2, "both slots respawn: {out:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stall_drill_is_detected_killed_and_respawned() {
+    let w = workload();
+    let want = golden(&w);
+    let (dir, store) = fresh_store("stall");
+    let mut cfg = config("stall", 2);
+    // Every first-cohort worker wedges before its first beat; the
+    // supervisor can only find out via the heartbeat deadline.
+    cfg.worker_env
+        .push(("X2V_FAULTS".into(), "stall@fleet/heartbeat:1".into()));
+    let out = run_fleet(&store, &cfg, &w).unwrap();
+    assert!(out.complete);
+    assert_eq!(out.shards, want, "stalls must not change the merged bytes");
+    assert!(out.stalls >= 2, "both wedged workers detected: {out:?}");
+    assert!(
+        out.worker_deaths >= 2,
+        "stalled workers are killed: {out:?}"
+    );
+    assert!(out.respawns >= 2, "and respawned clean: {out:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn retry_exhaustion_surfaces_typed_worker_failed_and_resume_finishes() {
+    let w = workload();
+    let n = w.num_tasks();
+    let want = golden(&w);
+    let (dir, store) = fresh_store("cap");
+    // Every worker publishes two shards and then aborts; no respawns
+    // allowed — the run must end in a typed WorkerFailed listing exactly
+    // the tasks that never got a shard, with the finished shards durable.
+    let mut cfg = config("cap", 2);
+    cfg.worker_env
+        .push(("X2V_FAULTS".into(), "kill9@fleet/worker:3".into()));
+    cfg.respawn_cap = 0;
+    let err = run_fleet(&store, &cfg, &w).unwrap_err();
+    let GuardError::WorkerFailed { site, tasks, .. } = &err else {
+        panic!("want WorkerFailed, got {err}");
+    };
+    assert_eq!(*site, "fleet/run");
+    assert!(
+        !tasks.is_empty() && tasks.len() < n,
+        "partial progress: {err}"
+    );
+    assert_eq!(err.exit_code(), 9);
+
+    // Same config degraded: a declared partial, missing exactly those.
+    cfg.worker_env.clear();
+    cfg.respawn_cap = FleetConfig::new("x").respawn_cap;
+
+    // Resume inline: only the missing tasks recompute, and the merged
+    // bytes still match the golden run.
+    cfg.workers = 1;
+    cfg.resume = true;
+    let out = run_fleet(&store, &cfg, &w).unwrap();
+    assert!(out.complete, "resume finishes the missing tasks");
+    assert_eq!(out.shards, want, "resumed merge is bit-identical");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn partial_is_declared_not_silent() {
+    let w = workload();
+    let (dir, store) = fresh_store("partial");
+    // Nobody ever manages a single claim: every first-cohort worker
+    // aborts immediately and may not respawn.
+    let mut cfg = config("partial", 2);
+    cfg.worker_env
+        .push(("X2V_FAULTS".into(), "kill9@fleet/worker:1".into()));
+    cfg.respawn_cap = 0;
+    cfg.allow_partial = true;
+    let out = run_fleet(&store, &cfg, &w).unwrap();
+    assert!(!out.complete);
+    assert_eq!(
+        out.missing,
+        (0..w.num_tasks()).collect::<Vec<_>>(),
+        "every task is declared missing, none silently zeroed"
+    );
+    assert!(out.shards.iter().all(Option::is_none));
+    let _ = std::fs::remove_dir_all(&dir);
+}

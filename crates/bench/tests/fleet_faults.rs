@@ -1,0 +1,50 @@
+//! The `corrupt@fleet/shard` drill, in its own test process.
+//!
+//! The drill arms the process-global fault registry, and the inline fleet
+//! queries it on every shard publish — so this test lives alone in its
+//! own integration-test binary, where no unrelated fleet run can swallow
+//! the armed fault (the subprocess drills in `fleet_chaos.rs` isolate
+//! faults per worker process instead).
+
+use x2v_bench::fleet_workloads::GramWorkload;
+use x2v_ckpt::Store;
+use x2v_datasets::synthetic::cycles_vs_trees;
+use x2v_fleet::{run_fleet, FleetConfig, Workload};
+use x2v_guard::faults::{self, SocketFaultKind};
+
+#[test]
+fn corrupt_shard_is_quarantined_and_recomputed_bit_identically() {
+    let w = GramWorkload::new(2, 2, cycles_vs_trees(8, 6, 3).graphs);
+    let want: Vec<_> = (0..w.num_tasks())
+        .map(|t| Some(w.run_task(t).unwrap()))
+        .collect();
+    let dir = std::env::temp_dir().join(format!("x2v-fleet-corrupt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Store::open(&dir).unwrap();
+
+    // The first publish lands, then one bit of its frame is flipped on
+    // disk. The inline collector must quarantine it (never delete), burn
+    // a retry, recompute, and still produce the golden bytes.
+    faults::clear();
+    faults::inject_socket(SocketFaultKind::Corrupt, "fleet/shard", 1);
+    let out = run_fleet(&store, &FleetConfig::new("corrupt"), &w);
+    faults::clear();
+    let out = out.unwrap();
+    assert!(out.complete);
+    assert_eq!(out.shards, want, "recomputed shard is bit-identical");
+    assert!(
+        out.retries >= 1,
+        "the corrupt shard burned a retry: {out:?}"
+    );
+
+    // The quarantine keeps the evidence: the flipped frame is moved into
+    // its shard job's `quarantine/` subdirectory, not deleted.
+    let quarantined: usize = std::fs::read_dir(&dir)
+        .unwrap()
+        .flatten()
+        .filter_map(|job| std::fs::read_dir(job.path().join("quarantine")).ok())
+        .map(|q| q.count())
+        .sum();
+    assert!(quarantined >= 1, "corrupt frame preserved for forensics");
+    let _ = std::fs::remove_dir_all(&dir);
+}

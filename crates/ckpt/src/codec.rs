@@ -72,6 +72,13 @@ impl Enc {
         self
     }
 
+    /// Appends a length-prefixed opaque byte slice (nested payloads).
+    pub fn bytes(&mut self, bs: &[u8]) -> &mut Self {
+        self.u64(bs.len() as u64);
+        self.buf.extend_from_slice(bs);
+        self
+    }
+
     /// The encoded payload.
     pub fn finish(self) -> Vec<u8> {
         self.buf
@@ -153,6 +160,12 @@ impl<'a> Dec<'a> {
         String::from_utf8(bytes.to_vec()).map_err(|_| CodecError { context })
     }
 
+    /// Reads a length-prefixed opaque byte vector of at most `cap` bytes.
+    pub fn bytes_vec(&mut self, cap: usize, context: &'static str) -> Result<Vec<u8>, CodecError> {
+        let n = self.len(cap, context)?;
+        Ok(self.take(n, context)?.to_vec())
+    }
+
     /// Requires the buffer to be fully consumed (trailing garbage is
     /// treated as corruption).
     pub fn finish(&self, context: &'static str) -> Result<(), CodecError> {
@@ -176,7 +189,8 @@ mod tests {
             .f64(-0.0)
             .f64(f64::NAN)
             .f64_slice(&[1.5, f64::MIN_POSITIVE, f64::INFINITY])
-            .str("job/name");
+            .str("job/name")
+            .bytes(&[0xDE, 0xAD, 0x00, 0xEF]);
         let bytes = e.finish();
         let mut d = Dec::new(&bytes);
         assert_eq!(d.u32("a").unwrap(), 7);
@@ -187,7 +201,21 @@ mod tests {
         assert_eq!(v.len(), 3);
         assert_eq!(v[0].to_bits(), 1.5f64.to_bits());
         assert_eq!(d.str(100, "f").unwrap(), "job/name");
+        assert_eq!(d.bytes_vec(100, "h").unwrap(), vec![0xDE, 0xAD, 0x00, 0xEF]);
         d.finish("g").unwrap();
+    }
+
+    #[test]
+    fn bytes_respect_cap_and_bounds() {
+        let mut e = Enc::new();
+        e.bytes(&[1, 2, 3, 4, 5]);
+        let bytes = e.finish();
+        let mut d = Dec::new(&bytes);
+        assert!(d.bytes_vec(4, "capped").is_err()); // over cap
+        for cut in 0..bytes.len() {
+            let mut d = Dec::new(&bytes[..cut]);
+            assert!(d.bytes_vec(100, "short").is_err(), "cut {cut}");
+        }
     }
 
     #[test]

@@ -59,6 +59,12 @@ pub use store::Store;
 /// `torn@ckpt/store`, `bitflip@ckpt/store`, `enospc@ckpt/store`).
 pub const SITE: &str = "ckpt/store";
 
+/// The guarded-site name for quarantine-directory creation (fault-injection
+/// target: `enospc@ckpt/quarantine`). A quarantine directory that cannot be
+/// created surfaces as a typed [`x2v_guard::GuardError::Storage`] at this
+/// site instead of silently shedding the forensic evidence.
+pub const QUARANTINE_SITE: &str = "ckpt/quarantine";
+
 /// Records a successful resume from a valid checkpoint (counter + trace
 /// instant). Called by the resumable hot paths, not by [`Store`] itself,
 /// so a loaded-then-rejected checkpoint (e.g. config fingerprint mismatch)

@@ -6,6 +6,7 @@
 //! <root>/<job>/gen-000001.ckpt      oldest retained generation
 //! <root>/<job>/gen-000002.ckpt
 //! <root>/<job>/gen-000003.ckpt      newest
+//! <root>/<job>/claim-t3-a0.frame    a named frame (e.g. a fleet task lease)
 //! <root>/<job>/quarantine/gen-000002.ckpt   (if generation 2 failed validation)
 //! ```
 //!
@@ -19,8 +20,10 @@
 //! generation validates does the caller cold-start.
 
 use std::fs;
+use std::io::Write;
 use std::path::{Path, PathBuf};
 
+use x2v_guard::faults::StoreFaultKind;
 use x2v_guard::GuardError;
 
 use crate::frame;
@@ -29,6 +32,10 @@ use crate::frame;
 /// oldest. Two or more, so the newest generation being corrupt never strands
 /// the job: the previous one is still on disk.
 pub const DEFAULT_RETENTION: usize = 3;
+
+/// File extension of named frames (see [`Store::claim_named`]); distinct
+/// from `.ckpt` so the generation scan never confuses the two.
+const NAMED_EXTENSION: &str = "frame";
 
 /// A durable, checksummed artifact store rooted at one directory.
 ///
@@ -119,7 +126,8 @@ impl Store {
     /// file as corruption. The result is always either the old or a newer
     /// complete generation — never an error, never a torn frame.
     ///
-    /// Only unreadable *directories* surface as `Err` — individual bad files
+    /// Only unreadable *directories* — including a quarantine directory
+    /// that cannot be created — surface as `Err`; individual bad files
     /// never abort the scan.
     pub fn load_latest(&self, job: &str, kind: &str) -> Result<Option<(u64, Vec<u8>)>, GuardError> {
         let dir = self.job_dir(job);
@@ -138,7 +146,7 @@ impl Store {
                 match fs::read(&path) {
                     Ok(bytes) => match frame::decode_kind(&bytes, kind) {
                         Ok(payload) => return Ok(Some((generation, payload))),
-                        Err(err) => self.quarantine(&dir, &path, &err.to_string()),
+                        Err(err) => self.quarantine(&dir, &path, &err.to_string())?,
                     },
                     Err(err) if err.kind() == std::io::ErrorKind::NotFound => {
                         if attempt + 1 < SCAN_ATTEMPTS {
@@ -147,7 +155,7 @@ impl Store {
                         // Out of rescans: skip it — there is nothing on
                         // disk to quarantine.
                     }
-                    Err(err) => self.quarantine(&dir, &path, &format!("unreadable: {err}")),
+                    Err(err) => self.quarantine(&dir, &path, &format!("unreadable: {err}"))?,
                 }
             }
             return Ok(None);
@@ -192,6 +200,166 @@ impl Store {
         Ok(())
     }
 
+    /// Atomically claims `job`'s named frame `name`: the file is created
+    /// with `O_EXCL` semantics (`create_new`), so when any number of
+    /// processes race on the same name the kernel arbitrates and exactly
+    /// one observes `Ok(true)`; every other claimant gets `Ok(false)`. The
+    /// winner's payload (framed and tagged `kind`) is then written and
+    /// synced into the file.
+    ///
+    /// Unlike generations the claim is *not* published via temp+rename —
+    /// the exclusive create IS the claim, and renaming over it would let
+    /// two winners race. The price: a claimant killed mid-write leaves a
+    /// claim whose payload does not decode. Readers must treat that as
+    /// *pending*, not corruption (see [`Store::load_named`]); a supervisor
+    /// that owns the protocol decides when an undecodable claim is dead.
+    pub fn claim_named(
+        &self,
+        job: &str,
+        name: &str,
+        kind: &str,
+        payload: &[u8],
+    ) -> Result<bool, GuardError> {
+        let dir = self.job_dir(job);
+        fs::create_dir_all(&dir).map_err(|e| {
+            GuardError::storage(
+                crate::SITE,
+                format!("cannot create job dir {}: {e}", dir.display()),
+            )
+        })?;
+        let path = self.named_path(job, name);
+        let mut file = match fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)
+        {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => return Ok(false),
+            Err(e) => {
+                return Err(GuardError::storage(
+                    crate::SITE,
+                    format!("cannot claim {}: {e}", path.display()),
+                ))
+            }
+        };
+        let bytes = frame::encode(kind, payload);
+        file.write_all(&bytes)
+            .and_then(|()| file.sync_all())
+            .map_err(|e| {
+                GuardError::storage(
+                    crate::SITE,
+                    format!("cannot write claim {}: {e}", path.display()),
+                )
+            })?;
+        x2v_obs::counter_add("ckpt/saved", 1);
+        x2v_obs::counter_add("ckpt/bytes_written", bytes.len() as u64);
+        Ok(true)
+    }
+
+    /// Saves `payload` as `job`'s named frame `name` (framed and tagged
+    /// `kind`), atomically replacing any previous content via the tagged
+    /// atomic writer. Last-writer-wins — the right semantics for idempotent
+    /// protocol markers (lease revocations) where overwriting is the point;
+    /// use [`Store::claim_named`] when exactly-one-winner matters.
+    pub fn save_named(
+        &self,
+        job: &str,
+        name: &str,
+        kind: &str,
+        payload: &[u8],
+    ) -> Result<(), GuardError> {
+        let dir = self.job_dir(job);
+        fs::create_dir_all(&dir).map_err(|e| {
+            GuardError::storage(
+                crate::SITE,
+                format!("cannot create job dir {}: {e}", dir.display()),
+            )
+        })?;
+        let path = self.named_path(job, name);
+        let bytes = frame::encode(kind, payload);
+        crate::atomic::write_atomic(crate::SITE, &path, &bytes).map_err(|e| {
+            GuardError::storage(
+                crate::SITE,
+                format!("cannot write named frame {}: {e}", path.display()),
+            )
+        })?;
+        x2v_obs::counter_add("ckpt/saved", 1);
+        x2v_obs::counter_add("ckpt/bytes_written", bytes.len() as u64);
+        Ok(())
+    }
+
+    /// Loads `job`'s named frame `name` if present and valid, returning its
+    /// payload. `Ok(None)` covers both "never written" and "present but not
+    /// (yet) a valid `kind` frame" — the latter is a claim still being
+    /// written by a racing process (or one killed mid-write), which readers
+    /// treat as pending. Named frames are never quarantined for exactly
+    /// that reason: an undecodable one is not evidence of corruption, and
+    /// whether it is *dead* is a protocol-level judgement
+    /// (see `x2v-fleet`'s supervisor), not a storage-level one.
+    pub fn load_named(
+        &self,
+        job: &str,
+        name: &str,
+        kind: &str,
+    ) -> Result<Option<Vec<u8>>, GuardError> {
+        let path = self.named_path(job, name);
+        match fs::read(&path) {
+            Ok(bytes) => Ok(frame::decode_kind(&bytes, kind).ok()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(GuardError::storage(
+                crate::SITE,
+                format!("cannot read named frame {}: {e}", path.display()),
+            )),
+        }
+    }
+
+    /// Whether `job`'s named frame `name` exists on disk at all (decodable
+    /// or not) — the cheap existence probe claimants use to skip work that
+    /// is already spoken for.
+    pub fn named_exists(&self, job: &str, name: &str) -> bool {
+        self.named_path(job, name).exists()
+    }
+
+    /// Deletes every named frame of `job`. Generations and quarantined
+    /// files are kept.
+    pub fn clear_named(&self, job: &str) -> Result<(), GuardError> {
+        let dir = self.job_dir(job);
+        let entries = match fs::read_dir(&dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => {
+                return Err(GuardError::storage(
+                    crate::SITE,
+                    format!("cannot list {}: {e}", dir.display()),
+                ))
+            }
+        };
+        for entry in entries.flatten() {
+            let is_frame = entry
+                .path()
+                .extension()
+                .is_some_and(|e| e == NAMED_EXTENSION);
+            if is_frame {
+                let path = entry.path();
+                fs::remove_file(&path).map_err(|e| {
+                    GuardError::storage(
+                        crate::SITE,
+                        format!("cannot remove {}: {e}", path.display()),
+                    )
+                })?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The on-disk path of `job`'s named frame `name`. The `.frame`
+    /// extension keeps named frames invisible to the `gen-*.ckpt`
+    /// generation scan.
+    fn named_path(&self, job: &str, name: &str) -> PathBuf {
+        self.job_dir(job)
+            .join(format!("{}.{NAMED_EXTENSION}", sanitize_job(name)))
+    }
+
     /// All `gen-*.ckpt` files in `dir`, sorted by ascending generation.
     fn generations(&self, dir: &Path) -> Result<Vec<(u64, PathBuf)>, GuardError> {
         let mut out = Vec::new();
@@ -216,10 +384,15 @@ impl Store {
         Ok(out)
     }
 
-    /// Moves a corrupt generation into `dir`'s `quarantine/` subdirectory
-    /// (best-effort — a failed move falls back to leaving the file, which a
-    /// later scan will quarantine again; it is never *loaded*).
-    fn quarantine(&self, dir: &Path, path: &Path, why: &str) {
+    /// Moves a corrupt generation into `dir`'s `quarantine/` subdirectory.
+    /// The *move* is best-effort (a failed rename leaves the file in place,
+    /// where a later scan quarantines it again; it is never *loaded*), but
+    /// a quarantine directory that cannot be created surfaces as a typed
+    /// [`GuardError::Storage`] at [`crate::QUARANTINE_SITE`]: a store that
+    /// can neither preserve the forensic evidence nor record the fact is a
+    /// disk-level emergency, not something to shrug off. Drillable via
+    /// `enospc@ckpt/quarantine`.
+    fn quarantine(&self, dir: &Path, path: &Path, why: &str) -> Result<(), GuardError> {
         x2v_obs::counter_add("ckpt/corrupt_detected", 1);
         x2v_obs::mark("ckpt/corrupt_detected");
         eprintln!(
@@ -227,11 +400,25 @@ impl Store {
             path.display()
         );
         let qdir = dir.join("quarantine");
-        if fs::create_dir_all(&qdir).is_ok() {
-            if let Some(name) = path.file_name() {
-                let _ = fs::rename(path, qdir.join(name));
-            }
+        if x2v_guard::faults::store_fault(crate::QUARANTINE_SITE) == Some(StoreFaultKind::Enospc) {
+            return Err(GuardError::storage(
+                crate::QUARANTINE_SITE,
+                format!(
+                    "injected enospc: cannot create quarantine dir {}",
+                    qdir.display()
+                ),
+            ));
         }
+        fs::create_dir_all(&qdir).map_err(|e| {
+            GuardError::storage(
+                crate::QUARANTINE_SITE,
+                format!("cannot create quarantine dir {}: {e}", qdir.display()),
+            )
+        })?;
+        if let Some(name) = path.file_name() {
+            let _ = fs::rename(path, qdir.join(name));
+        }
+        Ok(())
     }
 
     /// Removes generations older than the retention window ending at
@@ -401,6 +588,68 @@ mod tests {
         let store = tmpstore("sanitize");
         store.save("a/b", "k", b"x").unwrap();
         assert!(store.root().join("a_b").is_dir());
+        teardown(store);
+    }
+
+    #[test]
+    fn named_frames_claim_save_load_clear() {
+        let store = tmpstore("named");
+        // First claim wins and round-trips; the second loses without
+        // touching the winner's payload.
+        assert!(store
+            .claim_named("j", "claim-t0-a0", "lease", b"w1")
+            .unwrap());
+        assert!(!store
+            .claim_named("j", "claim-t0-a0", "lease", b"w2")
+            .unwrap());
+        assert_eq!(
+            store.load_named("j", "claim-t0-a0", "lease").unwrap(),
+            Some(b"w1".to_vec())
+        );
+        assert!(store.named_exists("j", "claim-t0-a0"));
+        assert!(!store.named_exists("j", "claim-t1-a0"));
+        // save_named is last-writer-wins.
+        store
+            .save_named("j", "revoked-t0-a0", "mark", b"a")
+            .unwrap();
+        store
+            .save_named("j", "revoked-t0-a0", "mark", b"b")
+            .unwrap();
+        assert_eq!(
+            store.load_named("j", "revoked-t0-a0", "mark").unwrap(),
+            Some(b"b".to_vec())
+        );
+        // A kind mismatch and a missing frame both read as pending.
+        assert_eq!(store.load_named("j", "claim-t0-a0", "mark").unwrap(), None);
+        assert_eq!(store.load_named("j", "nope", "lease").unwrap(), None);
+        // An undecodable (mid-write) claim reads as pending, exists, and is
+        // never quarantined.
+        let torn = store.job_dir("j").join("claim-t2-a0.frame");
+        fs::write(&torn, b"partial garbage").unwrap();
+        assert!(store.named_exists("j", "claim-t2-a0"));
+        assert_eq!(store.load_named("j", "claim-t2-a0", "lease").unwrap(), None);
+        assert!(!store.job_dir("j").join("quarantine").exists());
+        // clear_named removes frames but leaves generations alone.
+        store.save("j", "k", b"gen").unwrap();
+        store.clear_named("j").unwrap();
+        assert!(!store.named_exists("j", "claim-t0-a0"));
+        assert!(!store.named_exists("j", "revoked-t0-a0"));
+        assert_eq!(store.load_latest("j", "k").unwrap().unwrap().1, b"gen");
+        teardown(store);
+    }
+
+    #[test]
+    fn named_frames_do_not_disturb_generations() {
+        let store = tmpstore("named-gen");
+        store.save("j", "k", b"one").unwrap();
+        store
+            .claim_named("j", "claim-t0-a0", "lease", b"w")
+            .unwrap();
+        // The named frame is not a generation: the watch and the scan both
+        // ignore it, and saving again continues the gen sequence.
+        assert_eq!(store.latest_generation("j").unwrap(), Some(1));
+        assert_eq!(store.save("j", "k", b"two").unwrap(), 2);
+        assert_eq!(store.load_latest("j", "k").unwrap().unwrap().1, b"two");
         teardown(store);
     }
 

@@ -168,3 +168,55 @@ fn readers_never_observe_torn_state() {
     assert_eq!(store.latest_generation(JOB).unwrap(), Some(2));
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// The fleet lease protocol rests on `claim_named` resolving every race to
+/// exactly one owner. Hammer one claim name per round from many claimants
+/// racing through a start barrier, for many rounds: each round must produce
+/// exactly one winner, and the frame on disk must carry that winner's
+/// payload intact (the losers must not so much as scratch it). The
+/// exclusivity comes from the kernel's `O_EXCL` create, so the same
+/// guarantee holds when the claimants are separate processes — which the
+/// fleet chaos suite exercises end-to-end.
+#[test]
+fn concurrent_claims_resolve_to_exactly_one_owner() {
+    const CLAIMANTS: usize = 8;
+    const ROUNDS: usize = 50;
+
+    let dir = tmpdir("claims");
+    let store = Arc::new(Store::open(&dir).unwrap());
+
+    for round in 0..ROUNDS {
+        let barrier = Arc::new(std::sync::Barrier::new(CLAIMANTS));
+        let name = format!("claim-t{round}-a0");
+        let winners: Vec<usize> = (0..CLAIMANTS)
+            .map(|claimant| {
+                let store = Arc::clone(&store);
+                let barrier = Arc::clone(&barrier);
+                let name = name.clone();
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let payload = format!("owner-{claimant}");
+                    store
+                        .claim_named(JOB, &name, "lease", payload.as_bytes())
+                        .unwrap()
+                        .then_some(claimant)
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .filter_map(|h| h.join().unwrap())
+            .collect();
+        assert_eq!(
+            winners.len(),
+            1,
+            "round {round}: expected exactly one claim winner, got {winners:?}"
+        );
+        let payload = store.load_named(JOB, &name, "lease").unwrap().unwrap();
+        assert_eq!(
+            payload,
+            format!("owner-{}", winners[0]).into_bytes(),
+            "round {round}: a losing claimant overwrote the winner's lease"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -87,6 +87,49 @@ fn injected_store_faults_degrade_without_panicking() {
     assert_eq!(store.load_latest("job", "k").unwrap(), None);
     let _ = std::fs::remove_dir_all(store.root());
 
+    // --- enospc at the quarantine site: a corrupt generation is detected
+    // but the quarantine directory cannot be created — that surfaces as a
+    // typed Storage error at "ckpt/quarantine" (a store that can neither
+    // preserve the evidence nor record the fact must not shrug), and the
+    // corrupt file stays in place for a later, healthier scan.
+    let store = tmpstore("q-enospc");
+    store.save("job", "k", b"good generation").unwrap();
+    store.save("job", "k", b"newer generation").unwrap();
+    let newest = store.job_dir("job").join("gen-000002.ckpt");
+    let mut bytes = std::fs::read(&newest).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x40;
+    std::fs::write(&newest, &bytes).unwrap();
+    faults::inject_store(StoreFaultKind::Enospc, x2v_ckpt::QUARANTINE_SITE, 1);
+    let err = store.load_latest("job", "k").unwrap_err();
+    assert!(
+        matches!(
+            err,
+            GuardError::Storage {
+                site: "ckpt/quarantine",
+                ..
+            }
+        ),
+        "expected typed storage error at ckpt/quarantine, got {err:?}"
+    );
+    assert!(
+        newest.exists(),
+        "the corrupt generation must stay in place when quarantine fails"
+    );
+    // Once the disk recovers (the fault was one-shot) the same scan
+    // quarantines the corrupt file and falls back to the good generation.
+    let (generation, payload) = store.load_latest("job", "k").unwrap().unwrap();
+    assert_eq!(
+        (generation, payload.as_slice()),
+        (1, b"good generation".as_slice())
+    );
+    assert!(store
+        .job_dir("job")
+        .join("quarantine")
+        .join("gen-000002.ckpt")
+        .exists());
+    let _ = std::fs::remove_dir_all(store.root());
+
     // --- faults are one-shot: the store works normally afterwards.
     let store = tmpstore("after");
     store.save("job", "k", b"clean").unwrap();

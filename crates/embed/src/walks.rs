@@ -52,34 +52,10 @@ const WALK_GRAIN: usize = 256;
 /// bit-identical for every `X2V_THREADS`, including 1.
 pub fn generate_walks(g: &Graph, config: &WalkConfig) -> Vec<Vec<usize>> {
     let _timer = x2v_obs::span("embed/generate_walks");
-    let base = StdRng::seed_from_u64(config.seed);
-    let n = g.order();
-    let total = n * config.walks_per_node;
-    let uniform = (config.p - 1.0).abs() < 1e-12 && (config.q - 1.0).abs() < 1e-12;
+    let total = g.order() * config.walks_per_node;
     let plan = x2v_par::ChunkPlan::new(total, WALK_GRAIN);
     let chunks = x2v_par::map_chunks(&plan, |chunk, range| {
-        let mut rng = base.split_stream(chunk as u64);
-        range
-            .map(|w| {
-                let start = w % n;
-                let mut walk = Vec::with_capacity(config.walk_length);
-                walk.push(start);
-                while walk.len() < config.walk_length {
-                    let cur = *walk.last().expect("non-empty walk");
-                    let nbrs = g.neighbours(cur);
-                    if nbrs.is_empty() {
-                        break;
-                    }
-                    let next = if uniform || walk.len() < 2 {
-                        nbrs[rng.random_range(0..nbrs.len())]
-                    } else {
-                        biased_step(g, walk[walk.len() - 2], cur, config, &mut rng)
-                    };
-                    walk.push(next);
-                }
-                walk
-            })
-            .collect::<Vec<Vec<usize>>>()
+        generate_walk_chunk(g, config, chunk, range)
     });
     let corpus: Vec<Vec<usize>> = chunks.into_iter().flatten().collect();
     x2v_obs::counter_add(
@@ -87,6 +63,55 @@ pub fn generate_walks(g: &Graph, config: &WalkConfig) -> Vec<Vec<usize>> {
         corpus.iter().map(|w| w.len() as u64).sum(),
     );
     corpus
+}
+
+/// The deterministic chunking of the flat walk index space: the exact
+/// ranges [`generate_walks`] cuts. Exposed so an external scheduler (the
+/// `x2v-fleet` runtime) can farm chunks out to worker *processes* and
+/// still reproduce the single-process corpus bit-for-bit: concatenating
+/// `generate_walk_chunk(g, cfg, c, ranges[c])` over `c` in order IS
+/// `generate_walks(g, cfg)`.
+pub fn walk_chunks(g: &Graph, config: &WalkConfig) -> Vec<std::ops::Range<usize>> {
+    let total = g.order() * config.walks_per_node;
+    let plan = x2v_par::ChunkPlan::new(total, WALK_GRAIN);
+    (0..plan.n_chunks()).map(|c| plan.range(c)).collect()
+}
+
+/// Generates chunk `chunk` of the walk corpus: the walks with flat indices
+/// `w = rep·n + start` in `range`, drawn from the chunk's dedicated RNG
+/// stream `StdRng::seed_from_u64(seed).split_stream(chunk)`. Independent of
+/// the thread or process executing it — the unit of work the fleet ships
+/// to workers. `range` must be the chunk's range from [`walk_chunks`].
+pub fn generate_walk_chunk(
+    g: &Graph,
+    config: &WalkConfig,
+    chunk: usize,
+    range: std::ops::Range<usize>,
+) -> Vec<Vec<usize>> {
+    let n = g.order();
+    let uniform = (config.p - 1.0).abs() < 1e-12 && (config.q - 1.0).abs() < 1e-12;
+    let mut rng = StdRng::seed_from_u64(config.seed).split_stream(chunk as u64);
+    range
+        .map(|w| {
+            let start = w % n;
+            let mut walk = Vec::with_capacity(config.walk_length);
+            walk.push(start);
+            while walk.len() < config.walk_length {
+                let cur = *walk.last().expect("non-empty walk");
+                let nbrs = g.neighbours(cur);
+                if nbrs.is_empty() {
+                    break;
+                }
+                let next = if uniform || walk.len() < 2 {
+                    nbrs[rng.random_range(0..nbrs.len())]
+                } else {
+                    biased_step(g, walk[walk.len() - 2], cur, config, &mut rng)
+                };
+                walk.push(next);
+            }
+            walk
+        })
+        .collect()
 }
 
 /// One biased second-order step from `cur`, having arrived from `prev`.

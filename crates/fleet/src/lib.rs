@@ -1,0 +1,93 @@
+//! # x2v-fleet — crash-tolerant multi-process execution over the ckpt store
+//!
+//! The paper's quadratic hot paths (WL-kernel Gram matrices, walk corpora)
+//! are embarrassingly shardable, and this crate shards them across worker
+//! *subprocesses* without giving up the house invariant: the merged output
+//! is **bit-identical** at any worker count (including 1 = inline, no
+//! subprocess at all) and under any kill schedule. Workers are expected to
+//! die — SIGKILL, OOM, wedged — and the supervisor's job is to make that
+//! boring.
+//!
+//! There is no network and no IPC channel: the only shared medium is the
+//! durable, checksummed [`x2v_ckpt::Store`]. That buys the whole crash
+//! story for free — every message is a validated frame, torn state is
+//! detected and quarantined, and a run that dies mid-flight resumes from
+//! its shards. The protocol ([`protocol`]):
+//!
+//! * the supervisor publishes a **task manifest** frame (workload kind,
+//!   parameter blob, task count) and spawns N workers;
+//! * workers **claim** tasks via atomic lease frames — an `O_EXCL` file
+//!   create the kernel arbitrates, so exactly one claimant wins
+//!   ([`x2v_ckpt::Store::claim_named`]);
+//! * task results are published as generation-numbered, CRC-checked
+//!   **shard** frames whose bytes depend only on (manifest, task) — so a
+//!   straggler or a retry republishing a shard is *harmless duplication*,
+//!   never divergence. This is what makes the determinism proof work;
+//! * workers emit **heartbeat** frames on a deadline; a heartbeat that
+//!   stops advancing gets its worker killed and respawned (with seeded,
+//!   jittered [`x2v_guard::retry::Backoff`]);
+//! * a dead worker's leases are **revoked** (a marker frame — leases are
+//!   never deleted mid-run) and the task becomes claimable at the next
+//!   attempt index, up to a retry cap;
+//! * at the cap the run degrades honestly: a declared-`Partial` merge with
+//!   the missing tasks enumerated (when allowed), or a typed
+//!   [`GuardError::WorkerFailed`] — never a hang, never a silently wrong
+//!   matrix.
+//!
+//! Every degradation path is drillable via `X2V_FAULTS`
+//! (`kill9@fleet/worker`, `stall@fleet/heartbeat`, `corrupt@fleet/shard`)
+//! and observable via the `fleet/*` counters
+//! ([`x2v_obs::keys::fleet`]). See `docs/fleet.md` for the failure matrix.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod protocol;
+pub mod supervisor;
+pub mod worker;
+
+pub use supervisor::{run_fleet, FleetConfig, FleetOutcome};
+pub use worker::worker_main;
+
+use x2v_guard::GuardError;
+
+/// The supervisor's guarded site (`GuardError::WorkerFailed` originates
+/// here; the run span and budget meter carry this name).
+pub const SITE: &str = "fleet/run";
+
+/// The worker task loop's guarded site — fault-injection target
+/// `kill9@fleet/worker` (the worker aborts on the spot, simulating
+/// SIGKILL/OOM mid-task).
+pub const WORKER_SITE: &str = "fleet/worker";
+
+/// The worker heartbeat loop's guarded site — fault-injection target
+/// `stall@fleet/heartbeat` (the worker stops heartbeating and wedges, so
+/// the supervisor must detect it by timeout and kill it).
+pub const HEARTBEAT_SITE: &str = "fleet/heartbeat";
+
+/// The shard-publish site — fault-injection target `corrupt@fleet/shard`
+/// (one bit of the just-published shard frame is flipped on disk, so the
+/// supervisor must quarantine it and re-dispatch the task).
+pub const SHARD_SITE: &str = "fleet/shard";
+
+/// A shardable computation the fleet can execute.
+///
+/// The contract that the whole determinism story rests on:
+/// [`Workload::run_task`] must be a *pure deterministic function* of
+/// (`kind`, `params`, task index) — same inputs, same bytes, in any
+/// process, at any time. The fleet exploits this by letting retries and
+/// stragglers republish shards freely: duplicates are byte-identical, so
+/// the merged result cannot depend on the schedule.
+pub trait Workload {
+    /// Stable identifier of the workload family (goes in the manifest;
+    /// the worker binary dispatches on it).
+    fn kind(&self) -> &'static str;
+    /// Serialised parameters sufficient to reconstruct the workload in
+    /// another process (goes in the manifest).
+    fn params(&self) -> Vec<u8>;
+    /// Number of independent tasks. Task indices are `0..num_tasks()`.
+    fn num_tasks(&self) -> usize;
+    /// Executes task `task`, returning its shard bytes. Must be
+    /// deterministic in (`kind`, `params`, `task`) alone.
+    fn run_task(&self, task: usize) -> Result<Vec<u8>, GuardError>;
+}

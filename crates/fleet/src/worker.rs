@@ -1,0 +1,179 @@
+//! The fleet worker loop: claim, compute, publish, heartbeat.
+//!
+//! A worker process is deliberately dumb. It sweeps the task list from a
+//! per-worker rotated starting point (so claim attempts de-conflict
+//! naturally), skips tasks whose shard already exists or whose current
+//! attempt is claimed, wins what it can via the `O_EXCL` lease race, and
+//! publishes shards whose bytes depend only on (manifest, task). It holds
+//! no state the store does not hold — SIGKILL it at any instant and the
+//! protocol state stays consistent, which is the whole design.
+//!
+//! Liveness has two halves. A heartbeat thread publishes beat frames
+//! every `heartbeat_ms`, so the *supervisor* can tell a wedged worker
+//! from a slow one. And when a sweep makes no progress for a few rounds
+//! (everything pending is claimed by someone else), the worker turns
+//! *straggler re-dispatcher*: it speculatively re-executes the first
+//! pending task in task order (`fleet/steals`) — duplicate shards are
+//! byte-identical, so this trades only wasted CPU for liveness.
+//!
+//! Fault drills: `kill9@fleet/worker` aborts the process right before a
+//! claim attempt (no unwinding — the closest safe stand-in for SIGKILL);
+//! `stall@fleet/heartbeat` wedges the worker on entry — no beats, no
+//! work, no exit — leaving the supervisor's stall detector to kill us.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use x2v_ckpt::Store;
+use x2v_guard::faults::{self, ProcFaultKind};
+use x2v_guard::GuardError;
+use x2v_obs::keys;
+
+use crate::protocol::{self, Heartbeat, Lease, Manifest, HEARTBEAT_KIND, LEASE_KIND};
+use crate::{Workload, HEARTBEAT_SITE, WORKER_SITE};
+
+/// Sweeps without progress before the straggler re-dispatch kicks in.
+const STEAL_AFTER_IDLE_SWEEPS: u32 = 3;
+
+/// Runs the worker side of the fleet protocol to completion: returns
+/// `Ok(())` once every task is done or abandoned from this worker's view.
+/// Exits only through the typed error path (the supervisor treats a
+/// non-zero exit as a death and re-dispatches our leases).
+pub fn worker_main(
+    store: &Store,
+    job: &str,
+    worker: u64,
+    heartbeat_ms: u64,
+    max_attempts: u64,
+    workload: &dyn Workload,
+) -> Result<(), GuardError> {
+    let _span = x2v_obs::span("fleet/worker");
+    if faults::proc_fault(HEARTBEAT_SITE) == Some(ProcFaultKind::Stall) {
+        // The stall drill: wedge before the first beat, exactly like a
+        // process livelocked on entry — the supervisor can only tell by
+        // the heartbeat that never starts advancing, and must kill us.
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+    let manifest = Manifest::of(workload);
+    let fingerprint = manifest.fingerprint();
+    let n = workload.num_tasks();
+    let pid = std::process::id() as u64;
+    let lease = protocol::lease_job(job);
+
+    let done = Arc::new(AtomicBool::new(false));
+    let beats = spawn_heartbeat(
+        store.root().to_path_buf(),
+        job.to_string(),
+        worker,
+        pid,
+        heartbeat_ms,
+        Arc::clone(&done),
+    );
+
+    let mut idle_sweeps = 0u32;
+    let result = loop {
+        let mut progressed = false;
+        let mut unsettled = 0usize;
+        for i in 0..n {
+            let t = (worker as usize * 7 + i) % n.max(1);
+            if shard_exists(store, job, fingerprint, t)? {
+                continue;
+            }
+            let Some(k) = protocol::current_attempt(store, job, t, max_attempts) else {
+                continue; // abandoned: settled, just not by us
+            };
+            unsettled += 1;
+            if store.named_exists(&lease, &protocol::claim_name(t, k)) {
+                continue; // someone owns this attempt
+            }
+            if faults::proc_fault(WORKER_SITE) == Some(ProcFaultKind::Kill9) {
+                // SIGKILL stand-in: no unwinding, no cleanup, no exit code
+                // the supervisor could mistake for a typed failure.
+                std::process::abort();
+            }
+            let claim = Lease { worker, pid }.encode();
+            if !store.claim_named(&lease, &protocol::claim_name(t, k), LEASE_KIND, &claim)? {
+                continue; // lost the race
+            }
+            let data = workload.run_task(t)?;
+            protocol::publish_shard(store, job, fingerprint, t, &data)?;
+            progressed = true;
+        }
+        if unsettled == 0 {
+            break Ok(());
+        }
+        if progressed {
+            idle_sweeps = 0;
+            continue;
+        }
+        idle_sweeps += 1;
+        if idle_sweeps >= STEAL_AFTER_IDLE_SWEEPS {
+            // Straggler re-dispatch: deterministically the *first* pending
+            // task in task order, so concurrent stealers pile onto the
+            // same task instead of fanning out into wasted work.
+            let victim = (0..n).find_map(|t| match shard_exists(store, job, fingerprint, t) {
+                Ok(false) => protocol::current_attempt(store, job, t, max_attempts).map(|_| Ok(t)),
+                Ok(true) => None,
+                Err(e) => Some(Err(e)),
+            });
+            match victim {
+                Some(Ok(t)) => {
+                    x2v_obs::counter_add(keys::fleet::STEALS, 1);
+                    let data = workload.run_task(t)?;
+                    protocol::publish_shard(store, job, fingerprint, t, &data)?;
+                    idle_sweeps = 0;
+                    continue;
+                }
+                Some(Err(e)) => break Err(e),
+                None => {} // everything settled while we looked
+            }
+        }
+        std::thread::sleep(Duration::from_millis(heartbeat_ms.max(1)));
+    };
+    done.store(true, Ordering::Release);
+    let _ = beats.join();
+    result
+}
+
+fn shard_exists(
+    store: &Store,
+    job: &str,
+    fingerprint: u32,
+    task: usize,
+) -> Result<bool, GuardError> {
+    Ok(store
+        .latest_generation(&protocol::shard_job(job, fingerprint, task))?
+        .is_some())
+}
+
+/// The heartbeat thread: publishes a beat frame every `heartbeat_ms` until
+/// the main loop finishes. Beat publishing is best-effort — a failed save
+/// just means the supervisor sees us stall and recycles us, which is the
+/// correct outcome for a worker whose store writes fail. Opens its own
+/// `Store` handle (same root) so the main loop's borrow stays local.
+fn spawn_heartbeat(
+    root: std::path::PathBuf,
+    job: String,
+    worker: u64,
+    pid: u64,
+    heartbeat_ms: u64,
+    done: Arc<AtomicBool>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        let Ok(store) = Store::open(&root) else {
+            return;
+        };
+        let hb_job = protocol::heartbeat_job(&job, worker);
+        let mut seq = 0u64;
+        while !done.load(Ordering::Acquire) {
+            seq += 1;
+            let beat = Heartbeat { worker, pid, seq }.encode();
+            let _ = store.save(&hb_job, HEARTBEAT_KIND, &beat);
+            x2v_obs::counter_add(keys::fleet::HEARTBEATS, 1);
+            std::thread::sleep(Duration::from_millis(heartbeat_ms.max(1)));
+        }
+    })
+}

@@ -78,6 +78,22 @@ pub enum GuardError {
         /// The panic payload, rendered to a string where possible.
         detail: String,
     },
+    /// One or more fleet worker *processes* failed permanently: the tasks
+    /// listed exhausted their per-task retry cap (crash loops, repeated
+    /// stalls, repeated shard corruption) and their result shards are
+    /// missing from the merged output. The shards that did complete are
+    /// durable in the checkpoint store, so a re-run with `--resume`
+    /// recomputes only the missing tasks.
+    WorkerFailed {
+        /// The guarded call site (e.g. `"fleet/run"`).
+        site: &'static str,
+        /// Task indices still missing when the retry cap was reached.
+        tasks: Vec<usize>,
+        /// Lease revocations (retries) spent across the whole run.
+        retries: u64,
+        /// Human-readable diagnostic.
+        detail: String,
+    },
 }
 
 impl GuardError {
@@ -114,7 +130,8 @@ impl GuardError {
             | GuardError::InvalidInput { site, .. }
             | GuardError::NumericFailure { site, .. }
             | GuardError::Storage { site, .. }
-            | GuardError::WorkerPanic { site, .. } => site,
+            | GuardError::WorkerPanic { site, .. }
+            | GuardError::WorkerFailed { site, .. } => site,
         }
     }
 
@@ -142,6 +159,7 @@ impl GuardError {
             GuardError::NonConvergence { .. } => 6,
             GuardError::NumericFailure { .. } => 7,
             GuardError::WorkerPanic { .. } => 8,
+            GuardError::WorkerFailed { .. } => 9,
         }
     }
 }
@@ -194,6 +212,19 @@ impl fmt::Display for GuardError {
                     "worker panic at {site} while executing chunk {chunk}: {detail}"
                 )
             }
+            GuardError::WorkerFailed {
+                site,
+                tasks,
+                retries,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "worker failure at {site}: {} task(s) {tasks:?} missing after {retries} \
+                     lease revocations: {detail}",
+                    tasks.len()
+                )
+            }
         }
     }
 }
@@ -216,4 +247,7 @@ pub const TRIAGE: &str = "\
      7  NumericFailure   the input poisons floating point (NaN/inf) or overflows exact counts\n\
      8  WorkerPanic      a parallel chunk closure panicked; the pool is fine — fix the bug the\n\
                          panic message names (or the armed panic fault) and re-run\n\
+     9  WorkerFailed     fleet worker processes died/stalled past the retry cap; the listed\n\
+                         tasks are missing — check worker stderr and the store's quarantine,\n\
+                         then re-run with --resume (completed shards are durable)\n\
   (0 = success, 1 = generic failure, 101 = unhandled panic, as usual)";

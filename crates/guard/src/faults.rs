@@ -51,6 +51,18 @@
 //!   simulating a torn or bit-rotted artifact arriving over the wire or
 //!   from disk.
 //!
+//! Process-level fault kinds target fleet worker subprocesses (queried via
+//! [`proc_fault`], honoured by the `x2v-fleet` worker loop):
+//!
+//! * `kill9@site:N` — the N-th query at `site` (the worker's
+//!   `"fleet/worker"` task loop) tells the worker to die instantly and
+//!   unceremoniously (`abort`, no unwinding, no cleanup), simulating
+//!   `SIGKILL` / OOM-kill mid-task;
+//! * `stall@site:N` — the N-th query at `site` (the worker's
+//!   `"fleet/heartbeat"` beat loop) tells the worker to stop heartbeating
+//!   and hang forever, simulating a livelocked or wedged process that the
+//!   supervisor must detect by heartbeat timeout and kill.
+//!
 //! Every fired fault increments the `guard/faults_injected` obs counter.
 
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -90,6 +102,16 @@ pub enum SocketFaultKind {
     Corrupt,
 }
 
+/// The kind of process-level fault a fleet worker subprocess can be forced
+/// to exhibit (see [`proc_fault`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProcFaultKind {
+    /// Die instantly with no unwinding or cleanup (simulated SIGKILL).
+    Kill9,
+    /// Stop heartbeating and hang forever (a wedged process).
+    Stall,
+}
+
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Kind {
     Flow(FaultKind),
@@ -97,6 +119,7 @@ enum Kind {
     Panic,
     Store(StoreFaultKind),
     Socket(SocketFaultKind),
+    Proc(ProcFaultKind),
 }
 
 /// One armed fault: fire `kind` on the `at`-th call at `site`.
@@ -140,6 +163,8 @@ fn ensure_env_parsed() {
                         "conndrop" => Kind::Socket(SocketFaultKind::ConnDrop),
                         "slowread" => Kind::Socket(SocketFaultKind::SlowRead),
                         "corrupt" => Kind::Socket(SocketFaultKind::Corrupt),
+                        "kill9" => Kind::Proc(ProcFaultKind::Kill9),
+                        "stall" => Kind::Proc(ProcFaultKind::Stall),
                         other => {
                             eprintln!("[x2v-guard] ignoring unknown fault kind {other:?}");
                             continue;
@@ -199,6 +224,13 @@ pub fn inject_panic(site: &str, at: u64) {
 pub fn inject_socket(kind: SocketFaultKind, site: &str, at: u64) {
     ensure_env_parsed();
     arm(Kind::Socket(kind), site, at.max(1));
+}
+
+/// Programmatically arms a process fault: the `at`-th query of
+/// [`proc_fault`] at `site` (1-based) answers `kind`.
+pub fn inject_proc(kind: ProcFaultKind, site: &str, at: u64) {
+    ensure_env_parsed();
+    arm(Kind::Proc(kind), site, at.max(1));
 }
 
 /// Disarms every pending fault (armed by env or programmatically).
@@ -281,6 +313,35 @@ pub fn socket_fault(site: &str) -> Option<SocketFaultKind> {
             continue;
         }
         if let Kind::Socket(kind) = slot.kind {
+            slot.calls += 1;
+            if slot.calls == slot.at {
+                slot.fired = true;
+                x2v_obs::counter_add("guard/faults_injected", 1);
+                x2v_obs::mark("guard/fault_injected");
+                return Some(kind);
+            }
+        }
+    }
+    None
+}
+
+/// Queried by a fleet worker subprocess at `site` (`"fleet/worker"` before
+/// starting a task, `"fleet/heartbeat"` before emitting a beat): counts
+/// this query against armed process faults and returns the fault the
+/// worker must exhibit, if one fires — `Kill9` means abort on the spot,
+/// `Stall` means stop heartbeating and hang. One relaxed atomic load when
+/// nothing is armed. Firing increments `guard/faults_injected` and emits
+/// the `guard/fault_injected` trace instant.
+pub fn proc_fault(site: &str) -> Option<ProcFaultKind> {
+    if !any_armed() {
+        return None;
+    }
+    let mut slots = SLOTS.lock().expect("fault slots lock");
+    for slot in slots.iter_mut() {
+        if slot.fired || slot.site != site {
+            continue;
+        }
+        if let Kind::Proc(kind) = slot.kind {
             slot.calls += 1;
             if slot.calls == slot.at {
                 slot.fired = true;
@@ -384,6 +445,12 @@ mod tests {
         assert_eq!(socket_fault("test/socket"), None); // query 1: not yet
         assert_eq!(socket_fault("test/socket"), Some(SocketFaultKind::ConnDrop));
         assert_eq!(socket_fault("test/socket"), None); // fired, stays off
+
+        inject_proc(ProcFaultKind::Kill9, "test/proc", 2);
+        assert_eq!(proc_fault("other/proc"), None);
+        assert_eq!(proc_fault("test/proc"), None); // query 1: not yet
+        assert_eq!(proc_fault("test/proc"), Some(ProcFaultKind::Kill9));
+        assert_eq!(proc_fault("test/proc"), None); // fired, stays off
 
         clear();
         assert!(!any_armed());

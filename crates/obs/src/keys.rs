@@ -49,6 +49,36 @@ pub const SERVE_SNAPSHOT_FAILED: &str = "serve/snapshot_write_failed";
 /// exit by `ObsRun` and live by the serve flusher (`counter_max`).
 pub const RUN_PEAK_RSS: &str = "run/peak_rss_bytes";
 
+/// Fleet (multi-process supervisor/worker) counters: emitted by
+/// `x2v-fleet`, asserted on by the chaos-drill tests and the CI
+/// `fleet-chaos` job, documented in `docs/fleet.md`.
+pub mod fleet {
+    /// Tasks whose result shard was collected and validated by the
+    /// supervisor (equals the manifest task count on a complete run).
+    pub const TASKS_DONE: &str = "fleet/tasks_done";
+    /// Result shards published by workers (may exceed [`TASKS_DONE`] when
+    /// stragglers or retries duplicate work).
+    pub const SHARDS_PUBLISHED: &str = "fleet/shards_published";
+    /// Worker subprocesses observed dead (crash, SIGKILL, OOM-kill).
+    pub const WORKER_DEATHS: &str = "fleet/worker_deaths";
+    /// Worker subprocesses respawned after a death or stall kill.
+    pub const RESPAWNS: &str = "fleet/respawns";
+    /// Heartbeat timeouts: workers detected wedged and killed.
+    pub const STALLS: &str = "fleet/stalls_detected";
+    /// Task leases revoked (dead/stalled owner or corrupt shard) and made
+    /// claimable again — the per-task retry counter.
+    pub const RETRIES: &str = "fleet/lease_revoked";
+    /// Result shards that failed frame validation and were quarantined.
+    pub const SHARD_CORRUPT: &str = "fleet/shard_corrupt";
+    /// Speculative straggler re-executions of already-claimed tasks.
+    pub const STEALS: &str = "fleet/steals";
+    /// Heartbeat frames published by workers.
+    pub const HEARTBEATS: &str = "fleet/heartbeats";
+    /// Runs that degraded to a declared-partial merged result after the
+    /// retry budget was exhausted.
+    pub const PARTIAL: &str = "fleet/partial";
+}
+
 /// Per-endpoint request/error counters (windowed): one pair per routable
 /// endpoint class, so `/stats` can report per-endpoint rates. The `other`
 /// class covers unknown paths.

@@ -4,9 +4,12 @@
 //! (deadline 504), sheds (429), parse rejects (400/405/408/413), missing
 //! data (404/503), internal failures (5xx) — emits exactly one line to
 //! stderr, so any failing response is attributable to a request id after
-//! the fact. Successful 2xx responses are *not* logged (a daemon under
-//! load would drown stderr); their aggregate story lives in the windowed
-//! metrics behind `/metrics` and `/stats`.
+//! the fact. Successful 2xx responses are normally *not* logged (a daemon
+//! under load would drown stderr); their aggregate story lives in the
+//! windowed metrics behind `/metrics` and `/stats`. The one exception: a
+//! 2xx slower than `slow_request_ms` emits a line too (status 200, no
+//! `err` token) — a latency incident should be attributable to a request
+//! id exactly like a failure, not just a bump in a histogram.
 //!
 //! ## Line schema (stable, machine-parseable)
 //!
@@ -106,6 +109,25 @@ mod tests {
             r.render(),
             "x2v-access id=42 endpoint=/similar status=504 latency_ms=12.346 \
              deadline_remaining_ms=0 err=\"request_deadline_exceeded_after_12_ms\""
+        );
+    }
+
+    #[test]
+    fn slow_success_golden_line_has_no_err_token() {
+        // The slow-2xx exception: a 200 past `slow_request_ms` renders the
+        // same schema as an error line, minus the `err` token.
+        let r = AccessRecord {
+            id: 9,
+            endpoint: Some("/embed"),
+            status: 200,
+            latency_ms: 231.0791,
+            deadline_remaining_ms: None,
+            err: None,
+        };
+        assert_eq!(
+            r.render(),
+            "x2v-access id=9 endpoint=/embed status=200 latency_ms=231.079 \
+             deadline_remaining_ms=-"
         );
     }
 

@@ -466,6 +466,23 @@ fn handle_connection(conn: Conn, shared: &Shared) {
                         let _ = e;
                         x2v_obs::windowed_counter_add(keys::SERVE_CONN_DROPPED, 1);
                     }
+                    // Successful responses are normally silent, but a 200
+                    // that blew the slow-request threshold is a latency
+                    // incident — it gets the same attributable log line an
+                    // error would, just with no `err` token.
+                    let latency_ms = accepted.elapsed().as_secs_f64() * 1e3;
+                    if shared.config.access_log && latency_ms > shared.config.slow_request_ms as f64
+                    {
+                        AccessRecord {
+                            id,
+                            endpoint: Some(&request.path),
+                            status: 200,
+                            latency_ms,
+                            deadline_remaining_ms: None,
+                            err: None,
+                        }
+                        .emit();
+                    }
                 }
                 Err(err) => {
                     x2v_obs::windowed_counter_add(keys::SERVE_REQUESTS, 1);

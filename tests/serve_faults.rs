@@ -382,3 +382,38 @@ fn every_serving_degradation_path_fires_deterministically() {
     let _ = std::fs::remove_dir_all(&root2);
     let _ = std::fs::remove_file(&snap_path);
 }
+
+/// The slow-2xx access-log path, driven over a real socket: with
+/// `slow_request_ms: 0` every successful response counts as a latency
+/// incident and must emit an access line (status 200, no `err` token) —
+/// the line format itself is golden-tested in `crates/serve/src/access.rs`;
+/// here we prove the branch fires without disturbing the response, and
+/// that the slow-request counter moves with it. Run this binary with
+/// stderr captured to see the `x2v-access ... status=200` lines.
+#[test]
+fn slow_2xx_emits_access_line_without_breaking_the_response() {
+    x2v_obs::set_enabled(true);
+    let root = fresh_root("slow2xx");
+    let store = Store::open(&root).unwrap();
+    publish(&store, "slow", &test_set(2, 16)).unwrap();
+    let config = Config {
+        workers: 1,
+        job: "slow".to_string(),
+        slow_request_ms: 0,
+        request_id_base: 7_000,
+        flush_secs: 0,
+        ..Config::default()
+    };
+    let server = Server::start(config, store).unwrap();
+    let addr = server.addr();
+    let slow_before = counter(keys::SERVE_SLOW);
+    let (status, body) = get(addr, "/similar?id=v0&k=2");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"hits\": ["), "{body}");
+    assert!(
+        counter(keys::SERVE_SLOW) > slow_before,
+        "a 0 ms threshold must classify the 200 as slow"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
