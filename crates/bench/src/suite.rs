@@ -302,6 +302,36 @@ fn workloads(smoke: bool) -> Vec<Workload> {
         });
     }
 
+    // Single-pass feature Gram vs N×N pairwise kernel evaluations over one
+    // larger dataset. `gram_feat`'s `baseline` cross-assert is the suite's
+    // golden-CRC gate on the exact-equivalence contract: the feature path
+    // must reproduce the pairwise work checksum bit for bit, while the
+    // medians quantify collapsing per-entry re-refinement into one
+    // feature-extraction pass plus sparse merge-join dot products.
+    let ds_feat = cycles_vs_trees(pick(40, 6), 9, 37).graphs;
+    for (name, threads, baseline) in [
+        ("kernel/gram_pairwise", 1, None),
+        ("kernel/gram_feat", 1, Some("kernel/gram_pairwise")),
+    ] {
+        let graphs = ds_feat.clone();
+        let feat_path = baseline.is_some();
+        out.push(Workload {
+            name,
+            threads,
+            baseline,
+            run: Box::new(move || {
+                let kernel = WlSubtreeKernel::new(3);
+                let m = if feat_path {
+                    x2v_kernel::gram::gram_from_features(&kernel, &graphs, "bench-gram-feat")
+                } else {
+                    x2v_kernel::gram::gram_resumable(&kernel, &graphs, "bench-gram-pairwise")
+                }
+                .unwrap_or_else(|e| panic!("{e}"));
+                fold_f64s(m.as_slice())
+            }),
+        });
+    }
+
     // Inline fleet execution of a Gram build: the coordinator/worker
     // protocol overhead (manifest publish, shard publish + validate +
     // merge through the ckpt store) on top of the same kernel math, in

@@ -89,8 +89,14 @@ pub fn generate_walk_chunk(
     range: std::ops::Range<usize>,
 ) -> Vec<Vec<usize>> {
     let n = g.order();
+    let csr = g.csr();
     let uniform = (config.p - 1.0).abs() < 1e-12 && (config.q - 1.0).abs() < 1e-12;
     let mut rng = StdRng::seed_from_u64(config.seed).split_stream(chunk as u64);
+    // Scratch buffer for the biased-step weights, reused across every step
+    // of every walk in the chunk: the hot loop allocates only the walks
+    // themselves. No effect on the RNG draw sequence, so corpora stay
+    // bit-identical to the pre-scratch implementation.
+    let mut weights: Vec<f64> = Vec::new();
     range
         .map(|w| {
             let start = w % n;
@@ -98,14 +104,21 @@ pub fn generate_walk_chunk(
             walk.push(start);
             while walk.len() < config.walk_length {
                 let cur = *walk.last().expect("non-empty walk");
-                let nbrs = g.neighbours(cur);
+                let nbrs = csr.neighbours(cur);
                 if nbrs.is_empty() {
                     break;
                 }
                 let next = if uniform || walk.len() < 2 {
                     nbrs[rng.random_range(0..nbrs.len())]
                 } else {
-                    biased_step(g, walk[walk.len() - 2], cur, config, &mut rng)
+                    biased_step(
+                        csr,
+                        walk[walk.len() - 2],
+                        cur,
+                        config,
+                        &mut rng,
+                        &mut weights,
+                    )
                 };
                 walk.push(next);
             }
@@ -114,16 +127,26 @@ pub fn generate_walk_chunk(
         .collect()
 }
 
-/// One biased second-order step from `cur`, having arrived from `prev`.
-fn biased_step(g: &Graph, prev: usize, cur: usize, config: &WalkConfig, rng: &mut StdRng) -> usize {
-    let nbrs = g.neighbours(cur);
+/// One biased second-order step from `cur`, having arrived from `prev`,
+/// scanning adjacency through the CSR view with a caller-provided weight
+/// scratch buffer.
+fn biased_step(
+    csr: x2v_graph::csr::CsrView<'_>,
+    prev: usize,
+    cur: usize,
+    config: &WalkConfig,
+    rng: &mut StdRng,
+    weights: &mut Vec<f64>,
+) -> usize {
+    let nbrs = csr.neighbours(cur);
+    let prev_nbrs = csr.neighbours(prev);
     // Unnormalised weights; rejection-free: sample by cumulative sum.
     let mut total = 0.0f64;
-    let mut weights = Vec::with_capacity(nbrs.len());
+    weights.clear();
     for &x in nbrs {
         let w = if x == prev {
             1.0 / config.p
-        } else if g.has_edge(prev, x) {
+        } else if prev_nbrs.binary_search(&x).is_ok() {
             1.0
         } else {
             1.0 / config.q

@@ -9,6 +9,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use x2v_ckpt::codec::{Dec, Enc};
 use x2v_ckpt::crc32::Crc32;
+use x2v_linalg::chunked::axpy_f64;
 use x2v_linalg::sampling::AliasTable;
 use x2v_linalg::vector::sigmoid;
 
@@ -128,6 +129,15 @@ fn config_fingerprint(
     c.update_u64(sentences as u64);
     c.update_u64(total_tokens as u64);
     c.finish()
+}
+
+/// Sequential in-order dot product for the SGNS inner loop. The summation
+/// order here is part of the fixed-seed model-bit contract (resume goldens,
+/// downstream embedding-quality seeds), so this must not be swapped for the
+/// lane-chunked `x2v_linalg::chunked::dot_f64` reduction.
+#[inline]
+fn dot_seq(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
 impl Word2Vec {
@@ -304,17 +314,25 @@ impl Word2Vec {
                             let context = sentence[ctx_pos];
                             grad.iter_mut().for_each(|g| *g = 0.0);
                             let wrow = centre * dim;
-                            // Positive pair.
+                            // Positive pair. The two rank-1 updates run on
+                            // the chunked `x2v-linalg` axpy (element-wise,
+                            // so bit-identical to the scalar loop); the
+                            // gradient axpy against the *pre-update* output
+                            // row comes first. The dot stays a sequential
+                            // sum: a lane-chunked reduction would reorder
+                            // the additions and shift every trained model's
+                            // bits, breaking the fixed-seed training
+                            // contract downstream tests pin.
                             {
                                 let crow = context * dim;
-                                let dot: f64 = (0..dim)
-                                    .map(|d| local_in[wrow + d] * local_out[crow + d])
-                                    .sum();
+                                let dot = dot_seq(
+                                    &local_in[wrow..wrow + dim],
+                                    &local_out[crow..crow + dim],
+                                );
                                 let g = (1.0 - sigmoid(dot)) * lr;
-                                for d in 0..dim {
-                                    grad[d] += g * local_out[crow + d];
-                                    local_out[crow + d] += g * local_in[wrow + d];
-                                }
+                                axpy_f64(g, &local_out[crow..crow + dim], &mut grad);
+                                let in_row = &local_in[wrow..wrow + dim];
+                                axpy_f64(g, in_row, &mut local_out[crow..crow + dim]);
                             }
                             // Negative pairs.
                             for _ in 0..config.negative {
@@ -324,18 +342,16 @@ impl Word2Vec {
                                     continue;
                                 }
                                 let crow = neg * dim;
-                                let dot: f64 = (0..dim)
-                                    .map(|d| local_in[wrow + d] * local_out[crow + d])
-                                    .sum();
+                                let dot = dot_seq(
+                                    &local_in[wrow..wrow + dim],
+                                    &local_out[crow..crow + dim],
+                                );
                                 let g = -sigmoid(dot) * lr;
-                                for d in 0..dim {
-                                    grad[d] += g * local_out[crow + d];
-                                    local_out[crow + d] += g * local_in[wrow + d];
-                                }
+                                axpy_f64(g, &local_out[crow..crow + dim], &mut grad);
+                                let in_row = &local_in[wrow..wrow + dim];
+                                axpy_f64(g, in_row, &mut local_out[crow..crow + dim]);
                             }
-                            for d in 0..dim {
-                                local_in[wrow + d] += grad[d];
-                            }
+                            axpy_f64(1.0, &grad, &mut local_in[wrow..wrow + dim]);
                         }
                     }
                 }

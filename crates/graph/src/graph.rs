@@ -68,6 +68,18 @@ impl Graph {
         &self.neighbours[self.offsets[v]..self.offsets[v + 1]]
     }
 
+    /// The raw CSR offset array, length `order() + 1` (see [`crate::csr`]).
+    #[inline]
+    pub(crate) fn csr_offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The raw concatenated sorted neighbour array, length `2 * size()`.
+    #[inline]
+    pub(crate) fn csr_targets(&self) -> &[usize] {
+        &self.neighbours
+    }
+
     /// Degree of `v`.
     #[inline]
     pub fn degree(&self, v: usize) -> usize {

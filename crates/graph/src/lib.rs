@@ -20,7 +20,11 @@
 //! * [`iso`] / [`canon`] — ground-truth isomorphism testing and canonical
 //!   forms for small graphs;
 //! * [`hash`] — a fast FxHash-style hasher used by the hot colour-interning
-//!   paths of the WL crate.
+//!   paths of the WL crate;
+//! * [`csr`] — the flat compressed-sparse-row adjacency layout as a
+//!   first-class type: a zero-copy [`csr::CsrView`] over a [`Graph`]
+//!   ([`Graph::csr`]) plus an owned [`csr::Csr`] built straight from edge
+//!   streams, scanned by the WL-refinement and walk-generation hot loops.
 //!
 //! All node indices are `usize` in `0..n`. Graphs are simple (no loops, no
 //! parallel edges); builders reject violations with [`GraphError`].
@@ -31,6 +35,7 @@
 
 pub mod canon;
 pub mod cfi;
+pub mod csr;
 pub mod dist;
 pub mod enumerate;
 mod error;

@@ -71,7 +71,80 @@ pub fn gram_resumable<K: GraphKernel + Sync + ?Sized>(
 ) -> x2v_guard::Result<Matrix> {
     let _timer = x2v_obs::span("kernel/gram_build");
     let n = graphs.len();
-    let fingerprint = gram_fingerprint(graphs);
+    build_rows_resumable(n, gram_fingerprint(graphs), job, |i| {
+        (i..n)
+            .map(|j| kernel.eval(&graphs[i], &graphs[j]))
+            .collect()
+    })
+}
+
+/// Builds the Gram matrix of a [`crate::wl::WlSubtreeKernel`] from *one*
+/// feature-extraction pass: every graph is refined exactly once through a
+/// shared interner, and each Gram entry is a sparse merge-join dot product
+/// of two [`x2v_wl::features::SparseWlFeatures`] vectors. This collapses
+/// the `N × N` kernel evaluations of the pairwise path — each of which
+/// re-refines both graphs from scratch — to `O(N · refine + nnz)` work.
+///
+/// **Exact-equivalence contract:** the result is bit-for-bit identical to
+/// [`gram_resumable`] with the same kernel (and to pairwise
+/// [`GraphKernel::eval`]). Per-round sums of products of node counts are
+/// integer-valued and therefore exact in `f64` regardless of summation
+/// order, and both paths combine the per-round sums in ascending round
+/// order — so even the discounted variant's `2^{-i}` weighting rounds
+/// identically. The `tests/feat_equivalence.rs` battery asserts this on
+/// randomized datasets across thread counts.
+///
+/// Composes with the same machinery as [`gram_resumable`]: row-block
+/// checkpoints under `job` (the fingerprint additionally binds the round
+/// count and discounting, so pairwise and feature checkpoints never merge),
+/// `x2v-par` row fan-out, and ambient-budget metering of one work unit per
+/// Gram entry at [`BUILD_SITE`] — a budget sized in entries trips at the
+/// same row on either path. The feature-extraction pass itself is not
+/// metered (it is the cheap, linear part).
+///
+/// # Errors
+/// As [`gram_resumable`].
+pub fn gram_from_features(
+    kernel: &crate::wl::WlSubtreeKernel,
+    graphs: &[Graph],
+    job: &str,
+) -> x2v_guard::Result<Matrix> {
+    let _timer = x2v_obs::span("kernel/gram_feat");
+    let n = graphs.len();
+    let mut c = Crc32::new();
+    c.update(b"gram-feat");
+    c.update_u64(gram_fingerprint(graphs) as u64);
+    c.update_u64(kernel.rounds() as u64);
+    c.update_u64(kernel.is_discounted() as u64);
+    let fingerprint = c.finish();
+    let feats = x2v_wl::features::dataset_sparse_features(graphs, kernel.rounds());
+    x2v_obs::counter_add("kernel/gram_entries", (n * n) as u64);
+    build_rows_resumable(n, fingerprint, job, |i| {
+        (i..n)
+            .map(|j| {
+                if kernel.is_discounted() {
+                    feats[i].discounted_dot(&feats[j])
+                } else {
+                    feats[i].dot(&feats[j])
+                }
+            })
+            .collect()
+    })
+}
+
+/// The shared row-block core of [`gram_resumable`] and
+/// [`gram_from_features`]: resumable, budget-metered construction of a
+/// symmetric `n × n` matrix from a row evaluator. `row_eval(i)` must
+/// return the entries `i..n` of row `i`, deterministically.
+fn build_rows_resumable<F>(
+    n: usize,
+    fingerprint: u32,
+    job: &str,
+    row_eval: F,
+) -> x2v_guard::Result<Matrix>
+where
+    F: Fn(usize) -> Vec<f64> + Sync,
+{
     let store = x2v_ckpt::ambient();
     let mut m = Matrix::zeros(n, n);
     let mut start_row = 0usize;
@@ -136,9 +209,7 @@ pub fn gram_resumable<K: GraphKernel + Sync + ?Sized>(
         let outcome = x2v_par::try_map_items(cut - block_start, 1, |off| {
             let i = block_start + off;
             budget.poll(BUILD_SITE)?;
-            Ok((i..n)
-                .map(|j| kernel.eval(&graphs[i], &graphs[j]))
-                .collect::<Vec<f64>>())
+            Ok(row_eval(i))
         });
         match outcome {
             Ok(rows) => {
@@ -407,5 +478,36 @@ mod tests {
         let expected = ToyKernel.gram(&graphs);
         let got = gram_resumable(&ToyKernel, &graphs, "test-gram").unwrap();
         assert!(got.approx_eq(&expected, 0.0), "fill order must match");
+    }
+
+    fn mixed_graphs() -> Vec<Graph> {
+        use x2v_graph::generators::{cycle, path, star};
+        vec![
+            cycle(5),
+            path(7),
+            star(4),
+            x2v_graph::generators::petersen(),
+            x2v_graph::ops::disjoint_union(&cycle(3), &path(4)),
+        ]
+    }
+
+    #[test]
+    fn gram_from_features_bit_equals_pairwise() {
+        use crate::wl::WlSubtreeKernel;
+        let graphs = mixed_graphs();
+        for kernel in [WlSubtreeKernel::new(3), WlSubtreeKernel::discounted(4)] {
+            let pairwise = gram_resumable(&kernel, &graphs, "test-gram-pairwise").unwrap();
+            let feat = gram_from_features(&kernel, &graphs, "test-gram-feat").unwrap();
+            for i in 0..graphs.len() {
+                for j in 0..graphs.len() {
+                    assert_eq!(
+                        feat[(i, j)].to_bits(),
+                        pairwise[(i, j)].to_bits(),
+                        "entry ({i},{j}), discounted={}",
+                        kernel.is_discounted()
+                    );
+                }
+            }
+        }
     }
 }

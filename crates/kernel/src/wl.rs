@@ -44,6 +44,16 @@ impl WlSubtreeKernel {
         }
     }
 
+    /// Number of refinement rounds `t`.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Whether rounds are weighted by `2^{-i}` (the discounted variant).
+    pub fn is_discounted(&self) -> bool {
+        self.discounted
+    }
+
     fn dot(&self, a: &WlFeatureVector, b: &WlFeatureVector) -> f64 {
         if self.discounted {
             a.discounted_dot(b)

@@ -42,6 +42,7 @@
 
 pub mod assignment;
 pub mod birkhoff;
+pub mod chunked;
 pub mod eigen;
 mod matrix;
 pub mod norms;

@@ -93,6 +93,192 @@ pub fn dataset_features(graphs: &[Graph], t: usize) -> Vec<WlFeatureVector> {
         .collect()
 }
 
+/// Per-round colour histograms in a flat sorted-CSR layout: three dense
+/// arrays instead of one hash map per round.
+///
+/// `round_offsets[i]..round_offsets[i + 1]` delimits round `i`'s slice of
+/// `keys` (strictly increasing colours) and `counts` (their multiplicities).
+/// The layout makes the kernel inner product a *merge-join* over two sorted
+/// runs — no hashing, no probing, perfectly predictable scans — which is
+/// what `x2v-kernel`'s single-pass Gram builder runs in its hot loop.
+///
+/// ## Bit-exactness
+///
+/// [`SparseWlFeatures::weighted_dot`] is bit-identical to
+/// [`WlFeatureVector::weighted_dot`] even though the two accumulate each
+/// round in different orders: per-round sums of products of node counts are
+/// integer-valued, and integer-valued `f64` arithmetic below `2^53` is
+/// exact in *any* summation order. Both paths then combine the per-round
+/// sums in ascending round order, so the final bits agree too.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SparseWlFeatures {
+    round_offsets: Vec<usize>,
+    keys: Vec<u64>,
+    counts: Vec<u64>,
+}
+
+impl SparseWlFeatures {
+    /// Builds from per-round colour slices (`rounds[i][v]` = colour of node
+    /// `v` at round `i`), as recorded by both [`crate::WlHistory`] and
+    /// [`crate::hashwl::HashWlHistory`].
+    pub fn from_colour_rounds(rounds: &[Vec<u64>]) -> Self {
+        let mut f = SparseWlFeatures {
+            round_offsets: Vec::with_capacity(rounds.len() + 1),
+            keys: Vec::new(),
+            counts: Vec::new(),
+        };
+        f.round_offsets.push(0);
+        let mut sorted: Vec<u64> = Vec::new();
+        for colours in rounds {
+            sorted.clear();
+            sorted.extend_from_slice(colours);
+            sorted.sort_unstable();
+            let mut run = sorted.iter().copied();
+            if let Some(first) = run.next() {
+                let mut key = first;
+                let mut count = 1u64;
+                for c in run {
+                    if c == key {
+                        count += 1;
+                    } else {
+                        f.keys.push(key);
+                        f.counts.push(count);
+                        key = c;
+                        count = 1;
+                    }
+                }
+                f.keys.push(key);
+                f.counts.push(count);
+            }
+            f.round_offsets.push(f.keys.len());
+        }
+        f
+    }
+
+    /// Converts a hash-map feature vector into the flat layout (same
+    /// feature space, so dots agree bit-for-bit; see the type docs).
+    pub fn from_feature_vector(v: &WlFeatureVector) -> Self {
+        let mut f = SparseWlFeatures {
+            round_offsets: Vec::with_capacity(v.rounds.len() + 1),
+            keys: Vec::new(),
+            counts: Vec::new(),
+        };
+        f.round_offsets.push(0);
+        for hist in &v.rounds {
+            let mut entries: Vec<(u64, u64)> = hist.iter().map(|(&c, &n)| (c, n)).collect();
+            entries.sort_unstable();
+            for (c, n) in entries {
+                f.keys.push(c);
+                f.counts.push(n);
+            }
+            f.round_offsets.push(f.keys.len());
+        }
+        f
+    }
+
+    /// Computes the features of `g` with `t` refinement rounds through a
+    /// shared interner-based refiner (all vectors from one refiner share a
+    /// feature space).
+    pub fn compute(refiner: &mut Refiner, g: &Graph, t: usize) -> Self {
+        let _timer = x2v_obs::span("wl/sparse_features");
+        let history = refiner.refine_rounds(g, t);
+        Self::from_colour_rounds(&history.rounds)
+    }
+
+    /// Number of rounds stored (including round 0).
+    pub fn num_rounds(&self) -> usize {
+        self.round_offsets.len() - 1
+    }
+
+    /// Total number of non-zero features.
+    pub fn nnz(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Round `i`'s sorted `(keys, counts)` slices.
+    ///
+    /// # Panics
+    /// If `i >= self.num_rounds()`.
+    pub fn round(&self, i: usize) -> (&[u64], &[u64]) {
+        let (lo, hi) = (self.round_offsets[i], self.round_offsets[i + 1]);
+        (&self.keys[lo..hi], &self.counts[lo..hi])
+    }
+
+    /// The t-round WL kernel value `Σ_i Σ_c wl(c,G)·wl(c,H)`.
+    pub fn dot(&self, other: &SparseWlFeatures) -> f64 {
+        self.weighted_dot(other, |_| 1.0)
+    }
+
+    /// The discounted kernel `K_WL = Σ_i 2^{-i} Σ_c wl(c,G)·wl(c,H)`.
+    pub fn discounted_dot(&self, other: &SparseWlFeatures) -> f64 {
+        self.weighted_dot(other, |i| 0.5f64.powi(i as i32))
+    }
+
+    /// Generic per-round weighting via a sorted merge-join per round.
+    pub fn weighted_dot<W: Fn(usize) -> f64>(&self, other: &SparseWlFeatures, w: W) -> f64 {
+        let rounds = self.num_rounds().min(other.num_rounds());
+        let mut total = 0.0;
+        for i in 0..rounds {
+            let (ka, ca) = self.round(i);
+            let (kb, cb) = other.round(i);
+            let mut round_sum = 0.0;
+            let (mut p, mut q) = (0, 0);
+            while p < ka.len() && q < kb.len() {
+                match ka[p].cmp(&kb[q]) {
+                    std::cmp::Ordering::Less => p += 1,
+                    std::cmp::Ordering::Greater => q += 1,
+                    std::cmp::Ordering::Equal => {
+                        round_sum += ca[p] as f64 * cb[q] as f64;
+                        p += 1;
+                        q += 1;
+                    }
+                }
+            }
+            total += w(i) * round_sum;
+        }
+        total
+    }
+
+    /// Flattens into `(round, colour, count)` triples, sorted.
+    pub fn to_sparse(&self) -> Vec<(usize, Colour, u64)> {
+        let mut out = Vec::with_capacity(self.nnz());
+        for i in 0..self.num_rounds() {
+            let (keys, counts) = self.round(i);
+            for (&c, &n) in keys.iter().zip(counts) {
+                out.push((i, c, n));
+            }
+        }
+        out
+    }
+}
+
+/// Computes sparse feature vectors for a whole dataset through one shared
+/// interner-based refiner (serial — the interner is shared mutable state).
+pub fn dataset_sparse_features(graphs: &[Graph], t: usize) -> Vec<SparseWlFeatures> {
+    let mut refiner = Refiner::new();
+    graphs
+        .iter()
+        .map(|g| SparseWlFeatures::compute(&mut refiner, g, t))
+        .collect()
+}
+
+/// Computes sparse feature vectors with hash colouring
+/// ([`crate::hashwl::HashRefiner`]): hash colours need no shared interner,
+/// so extraction fans out one graph per parallel item. Deterministic at any
+/// thread count — each graph's colours depend only on the graph and the
+/// refiner's seed.
+pub fn dataset_sparse_features_hashed(
+    graphs: &[Graph],
+    t: usize,
+    refiner: crate::hashwl::HashRefiner,
+) -> Vec<SparseWlFeatures> {
+    let _timer = x2v_obs::span("wl/dataset_features_hashed");
+    x2v_par::map_items(graphs.len(), 1, |i| {
+        let history = refiner.refine_rounds(&graphs[i], t);
+        SparseWlFeatures::from_colour_rounds(&history.rounds)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,5 +334,75 @@ mod tests {
         assert_eq!(f.nnz(), f.to_sparse().len());
         // P4 round 0: 1 colour; round 1: 2 colours; round 2: 2 colours.
         assert_eq!(f.nnz(), 5);
+    }
+
+    #[test]
+    fn sparse_features_match_hashmap_features_bitwise() {
+        let graphs = [
+            path(5),
+            cycle(6),
+            star(4),
+            disjoint_union(&path(3), &cycle(4)),
+        ];
+        let hv = dataset_features(&graphs, 3);
+        let sv = dataset_sparse_features(&graphs, 3);
+        for (h, s) in hv.iter().zip(&sv) {
+            assert_eq!(h.to_sparse(), s.to_sparse());
+            assert_eq!(&SparseWlFeatures::from_feature_vector(h), s);
+        }
+        for i in 0..graphs.len() {
+            for j in 0..graphs.len() {
+                assert_eq!(
+                    hv[i].dot(&hv[j]).to_bits(),
+                    sv[i].dot(&sv[j]).to_bits(),
+                    "plain dot ({i},{j})"
+                );
+                assert_eq!(
+                    hv[i].discounted_dot(&hv[j]).to_bits(),
+                    sv[i].discounted_dot(&sv[j]).to_bits(),
+                    "discounted dot ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_round_slices_are_sorted_histograms() {
+        let sv = dataset_sparse_features(&[path(4)], 2);
+        let f = &sv[0];
+        assert_eq!(f.num_rounds(), 3);
+        let order: u64 = {
+            let (_, counts) = f.round(0);
+            counts.iter().sum()
+        };
+        assert_eq!(order, 4);
+        for i in 0..f.num_rounds() {
+            let (keys, counts) = f.round(i);
+            assert!(keys.windows(2).all(|w| w[0] < w[1]), "round {i} sorted");
+            assert_eq!(counts.iter().sum::<u64>(), 4, "round {i} mass");
+        }
+    }
+
+    #[test]
+    fn hashed_dataset_features_same_kernel_values() {
+        // Hash colours rename the colour universe but (absent collisions)
+        // preserve the partition per round, so all pairwise kernel values
+        // agree with the interner path exactly.
+        let graphs = [path(5), cycle(6), star(4)];
+        let sv = dataset_sparse_features(&graphs, 3);
+        let hv = dataset_sparse_features_hashed(&graphs, 3, crate::hashwl::HashRefiner::new());
+        for i in 0..graphs.len() {
+            for j in 0..graphs.len() {
+                assert_eq!(sv[i].dot(&sv[j]).to_bits(), hv[i].dot(&hv[j]).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_features() {
+        let f = SparseWlFeatures::from_colour_rounds(&[vec![], vec![]]);
+        assert_eq!(f.num_rounds(), 2);
+        assert_eq!(f.nnz(), 0);
+        assert_eq!(f.dot(&f), 0.0);
     }
 }
